@@ -1,0 +1,140 @@
+//! Frequent-pattern compression (FPC; Alameldeen & Wood, 2004) as used by
+//! the Split-reset baseline: a line that compresses to half size or better
+//! needs only one half-RESET phase.
+
+use ladder_reram::{LineData, LINE_BYTES};
+
+/// Bits one 32-bit word costs under the best matching FPC pattern,
+/// including the 3-bit prefix.
+fn fpc_word_bits(w: u32) -> u32 {
+    let bytes = w.to_le_bytes();
+    if w == 0 {
+        return 3;
+    }
+    // 4-bit sign-extended.
+    let as_i32 = w as i32;
+    if (-8..8).contains(&as_i32) {
+        return 3 + 4;
+    }
+    // 8-bit sign-extended.
+    if (-128..128).contains(&as_i32) {
+        return 3 + 8;
+    }
+    // 16-bit sign-extended.
+    if (-32768..32768).contains(&as_i32) {
+        return 3 + 16;
+    }
+    // Halfword padded with a zero halfword (upper half zero).
+    if w & 0xFFFF_0000 == 0 || w & 0x0000_FFFF == 0 {
+        return 3 + 16;
+    }
+    // Two halfwords, each an 8-bit sign-extended value.
+    let lo = (w & 0xFFFF) as u16 as i16;
+    let hi = (w >> 16) as u16 as i16;
+    if (-128..128).contains(&lo) && (-128..128).contains(&hi) {
+        return 3 + 16;
+    }
+    // Word consisting of repeated bytes.
+    if bytes.iter().all(|&b| b == bytes[0]) {
+        return 3 + 8;
+    }
+    3 + 32
+}
+
+/// Compressed size of a line in bits under FPC.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_baselines::fpc_compressed_bits;
+///
+/// assert_eq!(fpc_compressed_bits(&[0u8; 64]), 3 * 16); // 16 zero words
+/// assert!(fpc_compressed_bits(&[0xA7; 64]) < 512); // repeated bytes
+/// ```
+pub fn fpc_compressed_bits(line: &LineData) -> u32 {
+    let mut bits = 0;
+    for i in (0..LINE_BYTES).step_by(4) {
+        let w = u32::from_le_bytes([line[i], line[i + 1], line[i + 2], line[i + 3]]);
+        bits += fpc_word_bits(w);
+    }
+    bits
+}
+
+/// Whether a line is compressible enough for a single half-RESET: its FPC
+/// image fits in half the line (≤ 256 bits), so at most 4 bits land in each
+/// mat.
+pub fn is_half_compressible(line: &LineData) -> bool {
+    fpc_compressed_bits(line) <= (LINE_BYTES as u32 * 8) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_from_words(words: &[u32; 16]) -> LineData {
+        let mut l = [0u8; LINE_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            l[i * 4..(i + 1) * 4].copy_from_slice(&w.to_le_bytes());
+        }
+        l
+    }
+
+    #[test]
+    fn zero_line_is_maximally_compressible() {
+        assert_eq!(fpc_compressed_bits(&[0u8; 64]), 48);
+        assert!(is_half_compressible(&[0u8; 64]));
+    }
+
+    #[test]
+    fn small_integers_compress_well() {
+        // Typical pointer-free integer data: values under 128.
+        let l = line_from_words(&[1, 2, 3, 100, 0, 5, 7, 127, 0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(is_half_compressible(&l));
+    }
+
+    #[test]
+    fn random_data_does_not_compress() {
+        let mut l = [0u8; LINE_BYTES];
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for b in &mut l {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (x >> 33) as u8;
+        }
+        assert!(!is_half_compressible(&l));
+    }
+
+    #[test]
+    fn negative_small_values_sign_extend() {
+        let l = line_from_words(&[(-5i32) as u32; 16]);
+        assert_eq!(fpc_compressed_bits(&l), 16 * 7);
+    }
+
+    #[test]
+    fn pattern_priority_is_consistent() {
+        assert_eq!(fpc_word_bits(0), 3);
+        assert_eq!(fpc_word_bits(7), 7);
+        assert_eq!(fpc_word_bits(100), 11);
+        assert_eq!(fpc_word_bits(1000), 19);
+        assert_eq!(fpc_word_bits(0x0001_0000), 19); // lower half zero
+        assert_eq!(fpc_word_bits(0x7F7F_7F7F), 11); // repeated bytes
+        assert_eq!(fpc_word_bits(0xABAB_ABAB), 11); // repeated bytes
+        assert_eq!(fpc_word_bits(0xDEAD_BEEF), 35); // incompressible
+    }
+
+    #[test]
+    fn half_compressible_boundary() {
+        // 8 incompressible words (8 × 35 = 280 bits) + 8 zero words (24)
+        // = 304 bits > 256 → not compressible.
+        let mut words = [0u32; 16];
+        for w in words.iter_mut().take(8) {
+            *w = 0xDEAD_BEEF;
+        }
+        assert!(!is_half_compressible(&line_from_words(&words)));
+        // 6 incompressible (210) + 10 zeros (30) = 240 ≤ 256 → compressible.
+        let mut words2 = [0u32; 16];
+        for w in words2.iter_mut().take(6) {
+            *w = 0xDEAD_BEEF;
+        }
+        assert!(is_half_compressible(&line_from_words(&words2)));
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Prior-work write schemes LADDER is evaluated against.
+//!
+//! * [`SplitReset`] — two half-RESET stages with FPC compression
+//!   (Xu et al., HPCA'15); fixed worst-case stage latencies.
+//! * [`BitlineProfiler`] — BLP's in-memory bitline LRS profiling
+//!   (Wen et al., TCAD'19); exact bitline content, worst-case wordline
+//!   assumption, no metadata traffic.
+//! * [`fpc_compressed_bits`] — the frequent-pattern compression model
+//!   Split-reset relies on.
+//!
+//! The *baseline* (fixed worst-case latency), *location-aware* and *Oracle*
+//! schemes need no state beyond the timing table and the backing store, so
+//! they are implemented directly as memory-controller policies in
+//! `ladder-memctrl`.
+
+mod blp;
+mod compression;
+mod split_reset;
+
+pub use blp::BitlineProfiler;
+pub use compression::{fpc_compressed_bits, is_half_compressible};
+pub use split_reset::{SplitReset, HALF_RESET_FRACTION};

@@ -1,0 +1,49 @@
+//! Criterion benches for the LADDER engine's per-write work: the full
+//! prepare+service path per variant, plus the individual transforms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ladder_core::{
+    apply_fnw, shift_line, FnwPolicy, LadderConfig, LadderEngine, LadderVariant, PartialCounters,
+};
+use ladder_reram::{AddressMap, Geometry, LineAddr, LineStore};
+use std::hint::black_box;
+
+fn line(seed: u8) -> [u8; 64] {
+    std::array::from_fn(|i| (i as u8).wrapping_mul(31).wrapping_add(seed) & 0x77)
+}
+
+fn bench_service_write(c: &mut Criterion) {
+    for variant in [LadderVariant::Basic, LadderVariant::Est, LadderVariant::Hybrid] {
+        let map = AddressMap::new(Geometry::default());
+        let mut engine = LadderEngine::new(LadderConfig::for_variant(variant), map);
+        let mut store = LineStore::new();
+        let base = engine.layout().first_data_page() * 64;
+        let mut i = 0u64;
+        c.bench_function(&format!("engine_write_{variant:?}"), |b| {
+            b.iter(|| {
+                let addr = LineAddr::new(base + i % 4096);
+                engine.prepare_write(addr);
+                let out = engine.service_write(addr, line(i as u8), &mut store);
+                i += 1;
+                black_box(out.cw_lrs)
+            })
+        });
+    }
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let data = line(3);
+    let old = line(9);
+    c.bench_function("shift_line", |b| {
+        b.iter(|| shift_line(black_box(&data), black_box(13)))
+    });
+    c.bench_function("fnw_constrained", |b| {
+        b.iter(|| apply_fnw(black_box(&data), black_box(&old), FnwPolicy::Constrained))
+    });
+    c.bench_function("partial_counters_from_line", |b| {
+        b.iter(|| PartialCounters::from_line(black_box(&data)))
+    });
+}
+
+criterion_group!(benches, bench_service_write, bench_transforms);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation studies of LADDER's design choices (DESIGN.md §5): metadata
+//! cache size, bit shifting, the FNW counting constraint, low-precision
+//! rows, timing-table granularity, drain watermarks, and vertical
+//! wear-leveling granularity.
+
+use ladder_bench::config_from_args;
+use ladder_sim::ablations::*;
+use ladder_sim::experiments::Workload;
+
+fn main() {
+    let cfg = config_from_args();
+    let w = Workload::Single("astar");
+    let wmix = Workload::Mix("mix-1");
+
+    println!("== metadata cache size (LADDER-Est, astar) ==");
+    println!("{}", render(&cache_size_sweep(&cfg, w)));
+
+    println!("== intra-line bit shifting (LADDER-Est, astar) ==");
+    println!("{}", render(&shifting_ablation(&cfg, w)));
+
+    println!("== FNW policy (LADDER-Est, astar) ==");
+    let (pts, cancelled) = fnw_ablation(&cfg, w);
+    println!("{}", render(&pts));
+    if let Some(c) = cancelled {
+        println!("flips cancelled by the counting constraint: {:.2}%\n", c * 100.0);
+    }
+
+    println!("== low-precision rows (LADDER-Hybrid, astar) ==");
+    println!("{}", render(&low_rows_sweep(&cfg, w)));
+
+    println!("== timing-table granularity (LADDER-Est, astar) ==");
+    println!("{}", render(&table_granularity_sweep(&cfg, w)));
+
+    println!("== drain watermarks (LADDER-Est vs baseline, mix-1) ==");
+    println!("{}", render(&drain_watermark_sweep(&cfg, wmix)));
+
+    println!("== vertical wear-leveling granularity (LADDER-Est, astar) ==");
+    println!("{}", render(&vwl_comparison(&cfg, w)));
+}

@@ -1,0 +1,30 @@
+//! Evaluates the paper's Section 8 future-work idea: LADDER combined with
+//! adaptive remapping of write-hot pages to low-latency (bottom) rows.
+
+use ladder_bench::config_from_args;
+use ladder_sim::experiments::{hot_remap_extension, Workload};
+
+fn main() {
+    let cfg = config_from_args();
+    println!("Extension — LADDER-Hybrid + hot-page remapping to bottom rows");
+    println!(
+        "{:<9}{:>16}{:>16}{:>14}{:>14}",
+        "workload", "LADDER speedup", "+remap speedup", "tWR (ns)", "+remap tWR"
+    );
+    for w in [
+        Workload::Single("astar"),
+        Workload::Single("mcf"),
+        Workload::Single("lbm"),
+        Workload::Mix("mix-1"),
+    ] {
+        let r = hot_remap_extension(&cfg, w);
+        println!(
+            "{:<9}{:>16.3}{:>16.3}{:>14.1}{:>14.1}",
+            w.label(),
+            r.ladder_speedup,
+            r.ladder_remap_speedup,
+            r.twr_ladder_ns,
+            r.twr_remap_ns
+        );
+    }
+}

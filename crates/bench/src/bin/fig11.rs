@@ -1,0 +1,25 @@
+//! Regenerates Figure 11: the RESET latency surface over (WL, BL) location
+//! for the two extreme wordline data patterns (sub-tables of the timing
+//! table for the lowest and highest content bands).
+
+use ladder_xbar::{TableConfig, TimingTable};
+
+fn main() {
+    let table = TimingTable::generate(&TableConfig::ladder_default()).expect("table");
+    for (c_band, label) in [(0usize, "(a) WL pattern all '0's"), (7, "(b) WL pattern all '1's")] {
+        println!("Figure 11{label} — RESET latency (ns), rows = WL band, cols = BL band");
+        print!("{:>10}", "WL\\BL");
+        for b in 0..table.bands() {
+            print!("{:>9}", format!("b{b}"));
+        }
+        println!();
+        for w in 0..table.bands() {
+            print!("{:>10}", format!("w{w}"));
+            for b in 0..table.bands() {
+                print!("{:>9.1}", table.entry(c_band, w, b) as f64 / 1000.0);
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 4b: RESET latency as a function of the selected
+//! wordline's LRS percentage, for a far cell (①) and a near cell (②).
+
+use ladder_xbar::{calibrate_device_law, latency_vs_wl_content, CrossbarParams};
+
+fn main() {
+    let params = CrossbarParams::default();
+    let law = calibrate_device_law(&params, 29.0, 658.0);
+    // Cell ① sits far from both drivers; cell ② sits near them.
+    let far = latency_vs_wl_content(&params, law, 480, 480, 20);
+    let near = latency_vs_wl_content(&params, law, 32, 32, 20);
+    println!("Figure 4b — RESET latency vs WL LRS percentage");
+    println!("{:>8}{:>16}{:>16}", "LRS %", "cell 1 (ns)", "cell 2 (ns)");
+    for (f, n) in far.iter().zip(&near) {
+        println!("{:>8.0}{:>16.1}{:>16.1}", f.0, f.1, n.1);
+    }
+}

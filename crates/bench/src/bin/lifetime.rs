@@ -1,0 +1,25 @@
+//! Regenerates the Section 6.4 analysis: write traffic, relative lifetime
+//! and performance of the LADDER schemes under segment-based vertical
+//! wear-leveling plus horizontal byte rotation.
+
+use ladder_bench::config_from_args;
+use ladder_sim::experiments::{lifetime, Workload};
+
+fn main() {
+    let cfg = config_from_args();
+    println!("Section 6.4 — wear-leveling integration (workload: mix-1)");
+    println!(
+        "{:<16}{:>14}{:>12}{:>18}{:>20}",
+        "scheme", "write traffic", "lifetime", "speedup w/ WL", "speedup w/o WL"
+    );
+    for r in lifetime(&cfg, Workload::Mix("mix-1")) {
+        println!(
+            "{:<16}{:>13.3}x{:>11.3}x{:>18.3}{:>20.3}",
+            r.scheme.name(),
+            r.write_traffic_ratio,
+            r.lifetime_ratio,
+            r.speedup_with_wl,
+            r.speedup_without_wl
+        );
+    }
+}

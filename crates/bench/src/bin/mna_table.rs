@@ -1,0 +1,44 @@
+//! Validates the analytic timing tables against the exact MNA solver at
+//! full crossbar size: generates a coarse (4×4×4) table with both sources
+//! and reports per-entry ratios. The analytic source must be conservative
+//! (never faster than MNA) without being uselessly pessimistic.
+//!
+//! This is the expensive end-to-end check of DESIGN.md §2's substitution
+//! argument; expect ~0.5–2 minutes of solver time.
+
+use ladder_xbar::{SolverKind, TableConfig, TableSource, TimingTable};
+
+fn main() {
+    let mut cfg = TableConfig::ladder_default();
+    cfg.bands = 4;
+    eprintln!("generating 4x4x4 analytic table ...");
+    let ana = TimingTable::generate(&cfg).expect("analytic table");
+    eprintln!("generating 4x4x4 MNA table (64 exact 512x512 solves) ...");
+    cfg.source = TableSource::Mna(SolverKind::LineRelaxation);
+    let t0 = std::time::Instant::now();
+    let mna = TimingTable::generate(&cfg).expect("mna table");
+    eprintln!("MNA generation took {:?}", t0.elapsed());
+
+    println!("entry (c,w,b): analytic ns / MNA ns (ratio)");
+    let mut worst_ratio: f64 = 0.0;
+    let mut conservative = true;
+    for c in 0..4 {
+        for w in 0..4 {
+            for b in 0..4 {
+                let a = ana.entry(c, w, b) as f64 / 1000.0;
+                let m = mna.entry(c, w, b) as f64 / 1000.0;
+                let ratio = a / m;
+                worst_ratio = worst_ratio.max(ratio);
+                if a < m * 0.98 {
+                    conservative = false;
+                }
+                println!("({c},{w},{b}): {a:>7.1} / {m:>7.1}  ({ratio:.2}x)");
+            }
+        }
+    }
+    println!("\nworst analytic/MNA ratio: {worst_ratio:.2}x");
+    println!(
+        "analytic conservative everywhere: {}",
+        if conservative { "yes" } else { "NO — check the estimator" }
+    );
+}

@@ -1,0 +1,43 @@
+//! Benchmark harness for the LADDER reproduction.
+//!
+//! Each `bin` target regenerates one of the paper's tables or figures (see
+//! DESIGN.md §5 for the index):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig2` | Fig. 2 — motivation IPC study |
+//! | `fig4b` | Fig. 4b — latency vs. wordline LRS % |
+//! | `fig11` | Fig. 11 — latency surfaces over (WL, BL) |
+//! | `main_eval` | Figs. 12, 13, 14a/b, 16, 17 — the evaluation matrix |
+//! | `fig15` | Fig. 15 — estimation accuracy with/without shifting |
+//! | `lifetime` | Section 6.4 — wear-leveling and lifetime |
+//! | `variability` | Section 7 — shrunk latency range |
+//! | `tables` | Tables 1–4 — configuration and overheads |
+//!
+//! Criterion micro-benchmarks for the hot kernels live under `benches/`.
+
+/// Parses `--instructions N` and `--seed S` from the command line into an
+/// experiment configuration (defaults: 1 M instructions, seed 2021).
+///
+/// # Panics
+///
+/// Panics on malformed arguments.
+pub fn config_from_args() -> ladder_sim::experiments::ExperimentConfig {
+    let mut cfg = ladder_sim::experiments::ExperimentConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        match args[i].as_str() {
+            "--instructions" => {
+                cfg.instructions_per_core = args[i + 1].parse().expect("instruction count");
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = args[i + 1].parse().expect("seed");
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    cfg
+}

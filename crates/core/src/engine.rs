@@ -1,0 +1,628 @@
+//! The LADDER control logic (paper Fig. 6 and Fig. 9): metadata lookup and
+//! update on the write path, and latency-query inputs at dispatch time.
+//!
+//! The engine is deliberately free of queueing/timing concerns — the memory
+//! controller calls [`LadderEngine::prepare_write`] when a write enters the
+//! write queue (emitting the dependency reads the paper overlaps with
+//! queueing time) and [`LadderEngine::service_write`] when the write is
+//! dispatched (returning the `⟨WL, BL, C^w_lrs⟩` tuple for the timing-table
+//! lookup plus the cell-switching statistics for energy/endurance models).
+
+use crate::cache::{InsertOutcome, MetadataCache, MetadataCacheConfig};
+use crate::counters::LrsCounterGroup;
+use crate::fnw::{apply_fnw, undo_fnw, FnwPolicy};
+use crate::metadata::{MetadataFormat, MetadataLayout, MetadataRef};
+use crate::partial::{
+    estimate_cw_lrs, estimate_cw_lrs_low, exact_cw_lrs, LowPrecisionCounters, PartialCounters,
+};
+use crate::shift::{shift_line, unshift_line};
+use ladder_reram::{AddressMap, LineAddr, LineData, LineStore, LINES_PER_WLG};
+use std::collections::HashMap;
+
+/// Which LADDER variant the engine implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LadderVariant {
+    /// Exact counters + stale-memory-block reads (Section 3.3).
+    Basic,
+    /// Partial-counter estimation + intra-line bit shifting (Section 4.1).
+    Est,
+    /// Est plus multi-granularity counters for bottom rows (Section 4.2).
+    Hybrid,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct LadderConfig {
+    /// Scheme variant.
+    pub variant: LadderVariant,
+    /// Flip-N-Write policy (LADDER uses the constrained variant).
+    pub fnw: FnwPolicy,
+    /// Intra-line bit shifting (an Est/Hybrid optimization).
+    pub shifting: bool,
+    /// Bottom rows using 1-bit counters (Hybrid only).
+    pub low_precision_rows: usize,
+    /// Metadata cache geometry.
+    pub cache: MetadataCacheConfig,
+    /// Also compute the exact `C^w_lrs` per write (costly; used by the
+    /// Fig. 15 estimation-accuracy experiment).
+    pub track_exact: bool,
+}
+
+impl LadderConfig {
+    /// Default configuration for a variant, per the paper's evaluation
+    /// setup (constrained FNW; shifting on for Est/Hybrid; 128 bottom rows
+    /// at low precision for Hybrid).
+    pub fn for_variant(variant: LadderVariant) -> Self {
+        Self {
+            variant,
+            fnw: FnwPolicy::Constrained,
+            shifting: variant != LadderVariant::Basic,
+            low_precision_rows: 128,
+            cache: MetadataCacheConfig::default(),
+            track_exact: false,
+        }
+    }
+
+    fn metadata_format(&self) -> MetadataFormat {
+        match self.variant {
+            LadderVariant::Basic => MetadataFormat::Exact,
+            LadderVariant::Est => MetadataFormat::Partial,
+            LadderVariant::Hybrid => MetadataFormat::MultiGranularity {
+                low_precision_rows: self.low_precision_rows,
+            },
+        }
+    }
+}
+
+/// Category of a dependency read the controller must issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadKind {
+    /// Stale-memory-block read (LADDER-Basic only).
+    Smb,
+    /// LRS-metadata line fill.
+    Metadata,
+}
+
+/// A read the memory controller must issue before the write is ready.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DependencyRead {
+    /// Line to read.
+    pub addr: LineAddr,
+    /// Why it is being read.
+    pub kind: ReadKind,
+}
+
+/// Result of preparing a write when it enters the write queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrepareOutcome {
+    /// Reads to issue; the write is dispatch-ready once they complete.
+    pub reads: Vec<DependencyRead>,
+    /// Dirty metadata lines evicted by the fill; each needs a memory write.
+    pub writebacks: Vec<LineAddr>,
+    /// The metadata could not be installed (conflict set fully shared);
+    /// the request must park in the spill buffer and retry.
+    pub spilled: bool,
+}
+
+/// Result of servicing (dispatching) a write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceOutcome {
+    /// Wordline index for the timing-table lookup.
+    pub wordline: usize,
+    /// Worst bit column for the timing-table lookup.
+    pub worst_col: usize,
+    /// The `C^w_lrs` value (exact for Basic, estimated for Est/Hybrid).
+    pub cw_lrs: u16,
+    /// Exact `C^w_lrs` when [`LadderConfig::track_exact`] is set.
+    pub cw_exact: Option<u16>,
+    /// Cells switched 0→1 by this write (stored image).
+    pub bits_set: u32,
+    /// Cells switched 1→0.
+    pub bits_reset: u32,
+    /// Flips the FNW constraint cancelled on this line.
+    pub flips_cancelled: u32,
+}
+
+/// Cumulative engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Writes serviced.
+    pub writes: u64,
+    /// Stale-memory-block reads issued.
+    pub smb_reads: u64,
+    /// Metadata line fills issued.
+    pub metadata_reads: u64,
+    /// Dirty metadata lines written back to memory.
+    pub metadata_writebacks: u64,
+    /// Prepare attempts that had to spill.
+    pub spills: u64,
+    /// FNW flips cancelled by the counting constraint.
+    pub flips_cancelled: u64,
+    /// Total FNW flip opportunities (words where flipping won).
+    pub flip_opportunities: u64,
+}
+
+/// The LADDER control logic.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_core::{LadderConfig, LadderEngine, LadderVariant};
+/// use ladder_reram::{AddressMap, Geometry, LineAddr, LineStore};
+///
+/// let map = AddressMap::new(Geometry::default());
+/// let mut engine = LadderEngine::new(LadderConfig::for_variant(LadderVariant::Est), map);
+/// let mut store = LineStore::new();
+/// let addr = LineAddr::new(engine.layout().first_data_page() * 64);
+///
+/// let prep = engine.prepare_write(addr);
+/// assert!(!prep.spilled);
+/// let out = engine.service_write(addr, [0xFF; 64], &mut store);
+/// assert!(out.cw_lrs >= 64); // estimation is an upper bound
+/// assert_eq!(engine.read_line(addr, &store), [0xFF; 64]);
+/// ```
+#[derive(Debug)]
+pub struct LadderEngine {
+    config: LadderConfig,
+    map: AddressMap,
+    layout: MetadataLayout,
+    cache: MetadataCache,
+    flip_masks: HashMap<u64, u8>,
+    stats: EngineStats,
+}
+
+impl LadderEngine {
+    /// Creates an engine for the given configuration and address map.
+    pub fn new(config: LadderConfig, map: AddressMap) -> Self {
+        let layout = MetadataLayout::new(map.geometry(), config.metadata_format());
+        let cache = MetadataCache::new(config.cache);
+        Self {
+            config,
+            map,
+            layout,
+            cache,
+            flip_masks: HashMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &LadderConfig {
+        &self.config
+    }
+
+    /// The metadata layout (for placement of data pages and overhead
+    /// reporting).
+    pub fn layout(&self) -> &MetadataLayout {
+        &self.layout
+    }
+
+    /// The metadata cache (for hit-ratio statistics).
+    pub fn cache(&self) -> &MetadataCache {
+        &self.cache
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Handles a write request entering the write queue: looks up the
+    /// metadata line(s), pins them with a Sharer, and reports the
+    /// dependency reads to issue.
+    ///
+    /// When the outcome is `spilled`, nothing was pinned or issued; the
+    /// controller parks the request and calls this again later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` lies inside the reserved metadata region (metadata
+    /// writebacks do not pass through `prepare_write`).
+    pub fn prepare_write(&mut self, addr: LineAddr) -> PrepareOutcome {
+        let meta = self.layout.metadata_for(self.map.wlg_of(addr));
+        let mut reads = Vec::new();
+        let mut writebacks = Vec::new();
+        for line in meta.lines() {
+            if self.cache.lookup(line) {
+                continue;
+            }
+            match self.cache.insert(line) {
+                InsertOutcome::Installed { writeback } => {
+                    self.stats.metadata_reads += 1;
+                    reads.push(DependencyRead {
+                        addr: line,
+                        kind: ReadKind::Metadata,
+                    });
+                    if let Some(wb) = writeback {
+                        self.stats.metadata_writebacks += 1;
+                        writebacks.push(wb);
+                    }
+                }
+                InsertOutcome::Blocked => {
+                    self.stats.spills += 1;
+                    // Note: a multi-line group may have installed its first
+                    // line already; that line stays resident (unpinned) and
+                    // the retry will hit it.
+                    return PrepareOutcome {
+                        reads,
+                        writebacks,
+                        spilled: true,
+                    };
+                }
+            }
+        }
+        for line in meta.lines() {
+            self.cache.add_sharer(line);
+        }
+        if self.config.variant == LadderVariant::Basic {
+            self.stats.smb_reads += 1;
+            reads.push(DependencyRead {
+                addr,
+                kind: ReadKind::Smb,
+            });
+        }
+        PrepareOutcome {
+            reads,
+            writebacks,
+            spilled: false,
+        }
+    }
+
+    /// Services a dispatched write: transforms the data (shift + FNW),
+    /// derives the `⟨WL, BL, C^w_lrs⟩` latency inputs from the *current*
+    /// metadata, updates metadata and memory contents, and releases the
+    /// Sharer pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metadata was not resident (i.e. `prepare_write` did
+    /// not complete for this address — the Sharer protocol guarantees
+    /// residency between prepare and service).
+    pub fn service_write(
+        &mut self,
+        addr: LineAddr,
+        data: LineData,
+        store: &mut LineStore,
+    ) -> ServiceOutcome {
+        let wlg = self.map.wlg_of(addr);
+        let meta = self.layout.metadata_for(wlg);
+        let (wordline, worst_col) = self.map.write_location(addr);
+        let slot = addr.block_slot();
+
+        // Latency inputs from the metadata *before* this write updates it.
+        let cw_lrs = self.current_cw(&meta, store);
+
+        // Transform the data into its stored image.
+        let shifted = if self.config.shifting {
+            shift_line(&data, slot)
+        } else {
+            data
+        };
+        let old_stored = store.read(addr);
+        let fnw = apply_fnw(&shifted, &old_stored, self.config.fnw);
+        self.stats.flips_cancelled += fnw.flips_cancelled as u64;
+        self.stats.flip_opportunities +=
+            (fnw.flip_mask.count_ones() + fnw.flips_cancelled) as u64;
+
+        // Update metadata contents.
+        match meta {
+            MetadataRef::Exact { lo, hi } => {
+                let lines = [store.read(lo), store.read(hi)];
+                let mut counters = LrsCounterGroup::from_metadata_lines(&lines);
+                counters.apply_delta(&old_stored, &fnw.stored);
+                let updated = counters.to_metadata_lines();
+                store.write(lo, updated[0]);
+                store.write(hi, updated[1]);
+            }
+            MetadataRef::Partial { line } => {
+                let mut content = store.read(line);
+                content[slot] = PartialCounters::from_line(&fnw.stored).0;
+                store.write(line, content);
+            }
+            MetadataRef::LowPrecision { line, quarter } => {
+                let mut content = store.read(line);
+                let low = LowPrecisionCounters::from_line(&fnw.stored).0;
+                let byte = quarter * 16 + slot / 4;
+                let shift = (slot % 4) * 2;
+                content[byte] = (content[byte] & !(0b11 << shift)) | (low << shift);
+                store.write(line, content);
+            }
+        }
+        for line in meta.lines() {
+            self.cache.mark_dirty(line);
+            self.cache.release_sharer(line);
+        }
+
+        store.write(addr, fnw.stored);
+        if fnw.flip_mask != 0 {
+            self.flip_masks.insert(addr.raw(), fnw.flip_mask);
+        } else {
+            self.flip_masks.remove(&addr.raw());
+        }
+        self.stats.writes += 1;
+
+        // Exact counter (optional, for the Fig. 15 estimation-accuracy
+        // experiment): the counter an accurate-counting scheme without
+        // transforms (LADDER-Basic) would see for the same logical content
+        // — i.e. over the *recovered* lines, post-write. Comparing the
+        // estimate against this exposes both estimation slack (positive
+        // differences) and the flattening effect of bit shifting (negative
+        // differences).
+        let cw_exact = if self.config.track_exact {
+            let datas: Vec<LineData> = self
+                .map
+                .lines_of_wlg(wlg)
+                .map(|l| {
+                    if l == addr {
+                        data
+                    } else {
+                        self.read_line(l, store)
+                    }
+                })
+                .collect();
+            Some(exact_cw_lrs(datas.iter()))
+        } else {
+            None
+        };
+
+        ServiceOutcome {
+            wordline,
+            worst_col,
+            cw_lrs,
+            cw_exact,
+            bits_set: fnw.bits_set,
+            bits_reset: fnw.bits_reset,
+            flips_cancelled: fnw.flips_cancelled,
+        }
+    }
+
+    /// Reads a line back through the reverse transforms (un-flip, then
+    /// un-shift), recovering the original data.
+    pub fn read_line(&self, addr: LineAddr, store: &LineStore) -> LineData {
+        let stored = store.read(addr);
+        let unflipped = match self.flip_masks.get(&addr.raw()) {
+            Some(&mask) => undo_fnw(&stored, mask),
+            None => stored,
+        };
+        if self.config.shifting {
+            unshift_line(&unflipped, addr.block_slot())
+        } else {
+            unflipped
+        }
+    }
+
+    /// The current `C^w_lrs` the latency-query module would derive for a
+    /// write to `addr`, without side effects.
+    pub fn peek_cw(&self, addr: LineAddr, store: &LineStore) -> u16 {
+        let meta = self.layout.metadata_for(self.map.wlg_of(addr));
+        self.current_cw(&meta, store)
+    }
+
+    /// Flushes every dirty metadata line, returning the addresses whose
+    /// memory writes the controller must schedule (end of simulation, or an
+    /// eADR-style persist-on-power-fail flush).
+    pub fn flush_metadata(&mut self) -> Vec<LineAddr> {
+        let flushed = self.cache.flush_dirty();
+        self.stats.metadata_writebacks += flushed.len() as u64;
+        flushed
+    }
+
+    /// Lazy LRS-metadata correction after a crash (paper Section 7):
+    /// conservatively overwrites the whole reserved region with worst-case
+    /// counter values so later writes use safe timings; per-line estimates
+    /// re-tighten as lines are rewritten.
+    pub fn lazy_crash_correction(&mut self, store: &mut LineStore) {
+        self.cache = MetadataCache::new(self.config.cache);
+        let worst: LineData = match self.config.variant {
+            // Packed 10-bit counters of 512 each ⇒ saturate every field;
+            // 0xFF bytes decode to the 10-bit max after clamping (1023 →
+            // still ≥ 512, and `current_cw` clamps at the line width).
+            LadderVariant::Basic => [0xFF; 64],
+            // Partial bytes 0xFF decode to level 8 everywhere.
+            LadderVariant::Est | LadderVariant::Hybrid => [0xFF; 64],
+        };
+        for page in 0..self.layout.first_data_page() {
+            for i in 0..LINES_PER_WLG as u64 {
+                store.write(LineAddr::new(page * LINES_PER_WLG as u64 + i), worst);
+            }
+        }
+    }
+
+    fn current_cw(&self, meta: &MetadataRef, store: &LineStore) -> u16 {
+        match *meta {
+            MetadataRef::Exact { lo, hi } => {
+                let lines = [store.read(lo), store.read(hi)];
+                LrsCounterGroup::from_metadata_lines(&lines)
+                    .max()
+                    .min(self.map.geometry().mat_cols as u16)
+            }
+            MetadataRef::Partial { line } => {
+                let content = store.read(line);
+                estimate_cw_lrs(content.iter().map(|&b| PartialCounters(b)), 0)
+                    .min(self.map.geometry().mat_cols as u16)
+            }
+            MetadataRef::LowPrecision { line, quarter } => {
+                let content = store.read(line);
+                let region = &content[quarter * 16..(quarter + 1) * 16];
+                let counters = (0..LINES_PER_WLG).map(|slot| {
+                    let bits = (region[slot / 4] >> ((slot % 4) * 2)) & 0b11;
+                    LowPrecisionCounters(bits)
+                });
+                estimate_cw_lrs_low(counters, 0).min(self.map.geometry().mat_cols as u16)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladder_reram::Geometry;
+
+    fn engine(variant: LadderVariant) -> (LadderEngine, LineStore) {
+        engine_with(variant, |_| {})
+    }
+
+    fn engine_with(
+        variant: LadderVariant,
+        tweak: impl FnOnce(&mut LadderConfig),
+    ) -> (LadderEngine, LineStore) {
+        let map = AddressMap::new(Geometry::default());
+        let mut cfg = LadderConfig::for_variant(variant);
+        cfg.track_exact = true;
+        tweak(&mut cfg);
+        (LadderEngine::new(cfg, map), LineStore::new())
+    }
+
+    fn data_addr(e: &LadderEngine, page_off: u64, slot: u64) -> LineAddr {
+        LineAddr::new((e.layout().first_data_page() + page_off) * 64 + slot)
+    }
+
+    #[test]
+    fn basic_emits_smb_and_metadata_reads() {
+        let (mut e, _) = engine(LadderVariant::Basic);
+        let addr = data_addr(&e, 0, 0);
+        let prep = e.prepare_write(addr);
+        assert!(!prep.spilled);
+        let kinds: Vec<ReadKind> = prep.reads.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![ReadKind::Metadata, ReadKind::Metadata, ReadKind::Smb]
+        );
+    }
+
+    #[test]
+    fn est_avoids_smb_reads() {
+        let (mut e, _) = engine(LadderVariant::Est);
+        let addr = data_addr(&e, 0, 0);
+        let prep = e.prepare_write(addr);
+        assert_eq!(prep.reads.len(), 1);
+        assert_eq!(prep.reads[0].kind, ReadKind::Metadata);
+        // Second write to the same page hits the cache: no reads at all.
+        let addr2 = data_addr(&e, 0, 1);
+        let prep2 = e.prepare_write(addr2);
+        assert!(prep2.reads.is_empty());
+        assert_eq!(e.stats().smb_reads, 0);
+    }
+
+    #[test]
+    fn estimates_bound_exact_counters() {
+        // FNW and shifting are disabled so `cw_exact` (computed over the
+        // logical content) coincides with what the counters track; the
+        // transform interactions are exercised by the shift/fnw tests and
+        // the Fig. 15 experiment.
+        for variant in [LadderVariant::Basic, LadderVariant::Est, LadderVariant::Hybrid] {
+            let (mut e, mut store) = engine_with(variant, |cfg| {
+                cfg.fnw = FnwPolicy::Disabled;
+                cfg.shifting = false;
+            });
+            let mut x = 55u64;
+            for w in 0..40u64 {
+                let addr = data_addr(&e, w % 3, (w * 7) % 64);
+                let mut data = [0u8; 64];
+                for b in &mut data {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    *b = (x >> 37) as u8;
+                }
+                let prep = e.prepare_write(addr);
+                assert!(!prep.spilled);
+                let out = e.service_write(addr, data, &mut store);
+                let exact = out.cw_exact.expect("tracking enabled");
+                // One write later, the metadata reflects this write; peek
+                // must bound the exact value.
+                let est_after = e.peek_cw(addr, &store);
+                assert!(
+                    est_after >= exact || variant == LadderVariant::Basic,
+                    "{variant:?}: estimate {est_after} below exact {exact}"
+                );
+                if variant == LadderVariant::Basic {
+                    // Exact counters: equal, not just bounding.
+                    assert_eq!(est_after, exact, "basic counters must be exact");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_line_roundtrips_through_transforms() {
+        for variant in [LadderVariant::Basic, LadderVariant::Est, LadderVariant::Hybrid] {
+            let (mut e, mut store) = engine(variant);
+            let addr = data_addr(&e, 1, 13);
+            let mut data = [0u8; 64];
+            for (i, b) in data.iter_mut().enumerate() {
+                *b = (i as u8).wrapping_mul(37) ^ 0xA5;
+            }
+            e.prepare_write(addr);
+            e.service_write(addr, data, &mut store);
+            assert_eq!(e.read_line(addr, &store), data, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn service_releases_sharers_for_eviction() {
+        let (mut e, mut store) = engine(LadderVariant::Est);
+        let addr = data_addr(&e, 0, 0);
+        e.prepare_write(addr);
+        e.service_write(addr, [1; 64], &mut store);
+        // After service, flushing returns the dirty metadata line.
+        let dirty = e.flush_metadata();
+        assert_eq!(dirty.len(), 1);
+    }
+
+    #[test]
+    fn hybrid_low_rows_use_coarse_counters() {
+        let (mut e, mut store) = engine(LadderVariant::Hybrid);
+        // Pick a data page in the bottom rows (low precision).
+        let low_page = e
+            .layout()
+            .first_low_precision_data_page()
+            .expect("hybrid has a low region");
+        let addr = LineAddr::new(low_page * 64);
+        assert!(e
+            .layout()
+            .is_low_precision(ladder_reram::WlgId(addr.page())));
+        e.prepare_write(addr);
+        let out = e.service_write(addr, [0u8; 64], &mut store);
+        // 1-bit counters floor at 5 per line even for all-zero data.
+        let est = e.peek_cw(addr, &store);
+        assert_eq!(est, 64 * 5);
+        assert_eq!(out.bits_set, 0);
+    }
+
+    #[test]
+    fn lazy_crash_correction_is_conservative_then_tightens() {
+        let (mut e, mut store) = engine(LadderVariant::Est);
+        let addr = data_addr(&e, 0, 0);
+        e.prepare_write(addr);
+        e.service_write(addr, [0u8; 64], &mut store);
+        let before = e.peek_cw(addr, &store);
+        e.lazy_crash_correction(&mut store);
+        let after_crash = e.peek_cw(addr, &store);
+        assert!(after_crash >= before);
+        assert_eq!(after_crash, 512, "worst-case assumption after crash");
+        // Rewriting the page's lines tightens the estimate again.
+        for slot in 0..64 {
+            let a = data_addr(&e, 0, slot);
+            e.prepare_write(a);
+            e.service_write(a, [0u8; 64], &mut store);
+        }
+        assert_eq!(e.peek_cw(addr, &store), 64);
+    }
+
+    #[test]
+    fn flip_cancellation_is_counted() {
+        let (mut e, mut store) = engine(LadderVariant::Est);
+        let addr = data_addr(&e, 0, 0);
+        // 0x35 bytes (24 ones/word) store verbatim: flipping would change
+        // more cells (320) than writing directly (192).
+        e.prepare_write(addr);
+        e.service_write(addr, [0x35; 64], &mut store);
+        // 0x08 bytes: 40 changed cells/word direct vs 24 flipped, so
+        // classical FNW would flip — but the flipped word holds 56 ones vs
+        // 8, so the constraint cancels every flip.
+        e.prepare_write(addr);
+        let out = e.service_write(addr, [0x08; 64], &mut store);
+        assert!(out.flips_cancelled > 0);
+        assert!(e.stats().flips_cancelled > 0);
+    }
+}

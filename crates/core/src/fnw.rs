@@ -1,0 +1,234 @@
+//! Flip-N-Write (Cho & Lee, MICRO'09) and LADDER's counting-safe variant
+//! (paper Section 3.3).
+//!
+//! FNW writes either a word or its complement — whichever changes fewer
+//! cells — recording the choice in a flip bit per word. The classical
+//! policy can *increase* the number of stored `1`s, which would break
+//! LADDER's LRS accounting; the constrained variant therefore cancels any
+//! flip whose flipped word holds more `1`s than the original word.
+
+use ladder_reram::{LineData, LINE_BYTES};
+
+/// FNW word granularity in bytes (one flip bit per 8-byte word).
+pub const WORD_BYTES: usize = 8;
+/// Flip-decision words per line.
+pub const WORDS_PER_LINE: usize = LINE_BYTES / WORD_BYTES;
+
+/// Flip policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FnwPolicy {
+    /// No flipping at all.
+    Disabled,
+    /// Classical FNW: flip whenever it reduces changed bits.
+    Classic,
+    /// LADDER's variant: flip only when it reduces changed bits *and* does
+    /// not increase the word's `1` population.
+    Constrained,
+}
+
+/// Result of transforming one line write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnwOutcome {
+    /// The bits actually stored in memory.
+    pub stored: LineData,
+    /// Per-word flip decisions (bit `w` set ⇒ word `w` stored inverted).
+    pub flip_mask: u8,
+    /// Cells whose state changes (`SET`s + `RESET`s) vs. the old image.
+    pub bits_changed: u32,
+    /// Cells switching `0 → 1` (SETs).
+    pub bits_set: u32,
+    /// Cells switching `1 → 0` (RESETs).
+    pub bits_reset: u32,
+    /// Flips the classical policy would take that the constraint cancelled.
+    pub flips_cancelled: u32,
+}
+
+/// Applies FNW to a line write.
+///
+/// `new` is the (possibly shifted) data to store and `old_stored` the bits
+/// currently in the cells. Returns the image to store plus switching
+/// statistics used for energy and endurance accounting.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_core::{apply_fnw, FnwPolicy};
+///
+/// // Old image all ones, new data all zeros: classical FNW flips every
+/// // word (re-writing all ones costs zero cell changes) but thereby stores
+/// // a much denser image than the data; the constrained variant cancels
+/// // those flips to keep the LRS counters truthful.
+/// let classic = apply_fnw(&[0u8; 64], &[0xFF; 64], FnwPolicy::Classic);
+/// assert_eq!(classic.bits_changed, 0);
+/// let safe = apply_fnw(&[0u8; 64], &[0xFF; 64], FnwPolicy::Constrained);
+/// assert_eq!(safe.flips_cancelled, 8);
+/// assert_eq!(safe.stored, [0u8; 64]);
+/// ```
+pub fn apply_fnw(new: &LineData, old_stored: &LineData, policy: FnwPolicy) -> FnwOutcome {
+    let mut stored = *new;
+    let mut flip_mask = 0u8;
+    let mut flips_cancelled = 0u32;
+    if policy != FnwPolicy::Disabled {
+        for w in 0..WORDS_PER_LINE {
+            let range = w * WORD_BYTES..(w + 1) * WORD_BYTES;
+            let new_w = &new[range.clone()];
+            let old_w = &old_stored[range.clone()];
+            let dist: u32 = new_w
+                .iter()
+                .zip(old_w)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            let dist_flipped = (WORD_BYTES as u32 * 8) - dist;
+            if dist_flipped < dist {
+                let ones: u32 = new_w.iter().map(|b| b.count_ones()).sum();
+                let ones_flipped = (WORD_BYTES as u32 * 8) - ones;
+                let allowed = match policy {
+                    FnwPolicy::Classic => true,
+                    FnwPolicy::Constrained => ones_flipped <= ones,
+                    FnwPolicy::Disabled => unreachable!(),
+                };
+                if allowed {
+                    for i in range {
+                        stored[i] = !new[i];
+                    }
+                    flip_mask |= 1 << w;
+                } else {
+                    flips_cancelled += 1;
+                }
+            }
+        }
+    }
+    let mut bits_set = 0u32;
+    let mut bits_reset = 0u32;
+    for i in 0..LINE_BYTES {
+        let went_high = stored[i] & !old_stored[i];
+        let went_low = !stored[i] & old_stored[i];
+        bits_set += went_high.count_ones();
+        bits_reset += went_low.count_ones();
+    }
+    FnwOutcome {
+        stored,
+        flip_mask,
+        bits_changed: bits_set + bits_reset,
+        bits_set,
+        bits_reset,
+        flips_cancelled,
+    }
+}
+
+/// Recovers the logical data from a stored image and its flip mask.
+pub fn undo_fnw(stored: &LineData, flip_mask: u8) -> LineData {
+    let mut out = *stored;
+    for w in 0..WORDS_PER_LINE {
+        if (flip_mask >> w) & 1 == 1 {
+            for b in &mut out[w * WORD_BYTES..(w + 1) * WORD_BYTES] {
+                *b = !*b;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_of(val: u8) -> LineData {
+        [val; LINE_BYTES]
+    }
+
+    #[test]
+    fn disabled_stores_verbatim() {
+        let out = apply_fnw(&line_of(0xAB), &line_of(0x00), FnwPolicy::Disabled);
+        assert_eq!(out.stored, line_of(0xAB));
+        assert_eq!(out.flip_mask, 0);
+        assert_eq!(out.bits_changed, 64 * 5); // 0xAB has 5 ones per byte
+    }
+
+    #[test]
+    fn classic_flips_to_reduce_changes() {
+        // Old all-zero, new all-ones: flipping stores all-zero (0 changes).
+        let out = apply_fnw(&line_of(0xFF), &line_of(0x00), FnwPolicy::Classic);
+        assert_eq!(out.flip_mask, 0xFF);
+        assert_eq!(out.bits_changed, 0);
+        assert_eq!(undo_fnw(&out.stored, out.flip_mask), line_of(0xFF));
+    }
+
+    #[test]
+    fn classic_can_increase_ones() {
+        // Old image is all ones; new data is all zeros. Flipping writes all
+        // ones (no change) — but the stored population jumps from what the
+        // counters would expect for all-zero data.
+        let out = apply_fnw(&line_of(0x00), &line_of(0xFF), FnwPolicy::Classic);
+        assert_eq!(out.flip_mask, 0xFF);
+        let stored_ones: u32 = out.stored.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(stored_ones, 512);
+    }
+
+    #[test]
+    fn constrained_cancels_one_increasing_flips() {
+        // Same scenario: the constraint must refuse every flip because the
+        // flipped word (all ones) has more 1s than the original (all zeros).
+        let out = apply_fnw(&line_of(0x00), &line_of(0xFF), FnwPolicy::Constrained);
+        assert_eq!(out.flip_mask, 0);
+        assert_eq!(out.flips_cancelled, 8);
+        let stored_ones: u32 = out.stored.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(stored_ones, 0);
+    }
+
+    #[test]
+    fn constrained_never_increases_stored_ones_vs_original() {
+        // Property over pseudo-random lines.
+        let mut x = 7u64;
+        let mut rand_line = || {
+            let mut l = [0u8; LINE_BYTES];
+            for b in &mut l {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (x >> 35) as u8;
+            }
+            l
+        };
+        for _ in 0..50 {
+            let old = rand_line();
+            let new = rand_line();
+            let out = apply_fnw(&new, &old, FnwPolicy::Constrained);
+            for w in 0..WORDS_PER_LINE {
+                let r = w * WORD_BYTES..(w + 1) * WORD_BYTES;
+                let stored: u32 = out.stored[r.clone()].iter().map(|b| b.count_ones()).sum();
+                let orig: u32 = new[r].iter().map(|b| b.count_ones()).sum();
+                assert!(stored <= orig, "word {w} stored more ones than original");
+            }
+            assert_eq!(undo_fnw(&out.stored, out.flip_mask), new);
+        }
+    }
+
+    #[test]
+    fn flip_reduces_or_preserves_changed_bits() {
+        let mut x = 99u64;
+        let mut rand_line = || {
+            let mut l = [0u8; LINE_BYTES];
+            for b in &mut l {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (x >> 29) as u8;
+            }
+            l
+        };
+        for _ in 0..50 {
+            let old = rand_line();
+            let new = rand_line();
+            let plain = apply_fnw(&new, &old, FnwPolicy::Disabled);
+            let classic = apply_fnw(&new, &old, FnwPolicy::Classic);
+            let constrained = apply_fnw(&new, &old, FnwPolicy::Constrained);
+            assert!(classic.bits_changed <= plain.bits_changed);
+            assert!(constrained.bits_changed <= plain.bits_changed);
+            assert!(classic.bits_changed <= constrained.bits_changed);
+        }
+    }
+
+    #[test]
+    fn set_reset_split_sums_to_changed() {
+        let out = apply_fnw(&line_of(0b1100_0011), &line_of(0b1010_1010), FnwPolicy::Disabled);
+        assert_eq!(out.bits_set + out.bits_reset, out.bits_changed);
+        assert!(out.bits_set > 0 && out.bits_reset > 0);
+    }
+}

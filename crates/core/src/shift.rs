@@ -1,0 +1,163 @@
+//! Intra-line bit-level shifting (paper Section 4.1, "Improving estimation
+//! performance with shifting").
+//!
+//! Applications often cluster `1` bits in a few bytes of a line, and the
+//! pattern repeats across consecutive lines of a page. Left alone, those
+//! dense bytes land on the same mats and blow up the worst-byte partial
+//! counters. Shifting redistributes bits among the 8 bytes a chip stores
+//! (i.e. among 8 mats): bit `j` of byte `k` moves to byte
+//! `(k + j + offset) mod 8`, keeping its bit position. A dense byte thus
+//! spreads one bit onto each of the 8 mats. The per-line `offset` is derived
+//! from the line's block slot so consecutive lines of a page use different
+//! rotations, and the transform is exactly reversed on reads.
+
+use ladder_reram::{LineData, LINE_BYTES};
+
+/// Bytes handled by one chip (= mats per chip per line).
+const GROUP: usize = 8;
+
+/// Applies the shift to a line, producing the bit layout stored in memory.
+///
+/// `block_slot` (0–63) selects the per-line rotation offset.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_core::{shift_line, unshift_line};
+///
+/// let mut line = [0u8; 64];
+/// line[3] = 0xFF; // one dense byte
+/// let stored = shift_line(&line, 5);
+/// // The dense byte's bits now spread across all 8 bytes of its chip group.
+/// assert!(stored[0..8].iter().all(|&b| b.count_ones() == 1));
+/// assert_eq!(unshift_line(&stored, 5), line);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `block_slot >= 64`.
+pub fn shift_line(data: &LineData, block_slot: usize) -> LineData {
+    assert!(block_slot < 64, "block slot out of range");
+    let offset = block_slot % GROUP;
+    let mut out = [0u8; LINE_BYTES];
+    for g in 0..LINE_BYTES / GROUP {
+        let base = g * GROUP;
+        for k in 0..GROUP {
+            let b = data[base + k];
+            for j in 0..GROUP {
+                if (b >> j) & 1 == 1 {
+                    let dst = (k + j + offset) % GROUP;
+                    out[base + dst] |= 1 << j;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reverses [`shift_line`], recovering the original byte order on a read.
+///
+/// # Panics
+///
+/// Panics if `block_slot >= 64`.
+pub fn unshift_line(stored: &LineData, block_slot: usize) -> LineData {
+    assert!(block_slot < 64, "block slot out of range");
+    let offset = block_slot % GROUP;
+    let mut out = [0u8; LINE_BYTES];
+    for g in 0..LINE_BYTES / GROUP {
+        let base = g * GROUP;
+        for k in 0..GROUP {
+            let b = stored[base + k];
+            for j in 0..GROUP {
+                if (b >> j) & 1 == 1 {
+                    let src = (k + GROUP - (j + offset) % GROUP) % GROUP;
+                    out[base + src] |= 1 << j;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random_line(seed: u64) -> LineData {
+        let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut l = [0u8; LINE_BYTES];
+        for b in &mut l {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (x >> 40) as u8;
+        }
+        l
+    }
+
+    #[test]
+    fn shift_is_reversible_for_all_slots() {
+        for slot in 0..64 {
+            let line = pseudo_random_line(slot as u64 + 1);
+            assert_eq!(unshift_line(&shift_line(&line, slot), slot), line);
+        }
+    }
+
+    #[test]
+    fn shift_preserves_popcount() {
+        for slot in [0, 7, 13, 63] {
+            let line = pseudo_random_line(slot as u64 + 99);
+            let shifted = shift_line(&line, slot);
+            let ones =
+                |l: &LineData| l.iter().map(|b| b.count_ones()).sum::<u32>();
+            assert_eq!(ones(&line), ones(&shifted));
+        }
+    }
+
+    #[test]
+    fn dense_byte_spreads_over_the_chip_group() {
+        let mut line = [0u8; LINE_BYTES];
+        line[8] = 0xFF; // dense byte in the second chip group
+        for slot in 0..8 {
+            let shifted = shift_line(&line, slot);
+            for (k, byte) in shifted.iter().enumerate().take(16).skip(8) {
+                assert_eq!(
+                    byte.count_ones(),
+                    1,
+                    "slot {slot}: byte {k} should hold exactly one bit"
+                );
+            }
+            // Other chip groups untouched.
+            assert!(shifted[0..8].iter().all(|&b| b == 0));
+            assert!(shifted[16..].iter().all(|&b| b == 0));
+        }
+    }
+
+    #[test]
+    fn different_slots_misalign_identical_lines() {
+        let mut line = [0u8; LINE_BYTES];
+        line[0] = 0b0000_0110;
+        let a = shift_line(&line, 0);
+        let b = shift_line(&line, 1);
+        assert_ne!(a, b, "consecutive slots must use distinct rotations");
+    }
+
+    #[test]
+    fn zero_line_is_fixed_point() {
+        let zero = [0u8; LINE_BYTES];
+        assert_eq!(shift_line(&zero, 11), zero);
+        assert_eq!(unshift_line(&zero, 11), zero);
+    }
+
+    #[test]
+    fn shift_reduces_worst_byte_of_clustered_data() {
+        // Clustered pattern: first two bytes of every chip group dense.
+        let mut line = [0u8; LINE_BYTES];
+        for g in 0..8 {
+            line[g * 8] = 0xFF;
+            line[g * 8 + 1] = 0xFF;
+        }
+        let worst = |l: &LineData| l.iter().map(|b| b.count_ones()).max().unwrap_or(0);
+        assert_eq!(worst(&line), 8);
+        let shifted = shift_line(&line, 3);
+        assert!(worst(&shifted) <= 2, "shifting must break up dense bytes");
+    }
+}

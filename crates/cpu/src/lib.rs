@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Trace-driven core model for the LADDER system simulator.
+//!
+//! The paper evaluates LADDER with gem5 full-system simulation; this crate
+//! substitutes a bounded-MLP core model driven by LLC-level traces (see
+//! DESIGN.md for why the substitution preserves the measured effects: all
+//! of LADDER's action is at the memory controller, and what a core
+//! contributes is read-latency sensitivity and write-back pressure, both of
+//! which this model has).
+
+mod core;
+mod trace;
+
+pub use crate::core::{Core, CoreAction, CoreConfig};
+pub use trace::{MemEvent, TraceOp, TraceSource, VecTrace};

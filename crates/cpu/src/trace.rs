@@ -1,0 +1,107 @@
+//! Memory-trace events: the interface between workload generators and the
+//! core model.
+//!
+//! Traces are at the *memory-controller* level — each event is an LLC miss
+//! (demand read) or an LLC write-back, separated by a count of instructions
+//! that hit in the cache hierarchy and retire at the core's base IPC. This
+//! is the level at which the paper's effects play out: write-latency
+//! schemes change nothing above the LLC.
+
+use ladder_reram::{LineAddr, LineData};
+
+/// Kind of memory operation an event performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// LLC-miss demand read. `critical` reads stall the core until the
+    /// data returns (a dependent load); others only occupy an MSHR.
+    Read {
+        /// Line to read.
+        addr: LineAddr,
+        /// Whether the core blocks on this read's completion.
+        critical: bool,
+    },
+    /// LLC write-back of a dirty line.
+    Write {
+        /// Line to write.
+        addr: LineAddr,
+        /// The line's new contents.
+        data: Box<LineData>,
+    },
+}
+
+/// One trace event: `gap` instructions of cache-resident work, then `op`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemEvent {
+    /// Instructions retired (at base IPC) before the memory operation.
+    pub gap_instructions: u64,
+    /// The memory operation.
+    pub op: TraceOp,
+}
+
+/// A source of trace events (implemented by workload generators).
+pub trait TraceSource {
+    /// Produces the next event, or `None` when the trace is exhausted.
+    fn next_event(&mut self) -> Option<MemEvent>;
+
+    /// Short label for reports.
+    fn label(&self) -> &str;
+}
+
+/// A trace source backed by a pre-built vector (tests, replay).
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    label: String,
+    events: std::vec::IntoIter<MemEvent>,
+}
+
+impl VecTrace {
+    /// Wraps a vector of events.
+    pub fn new(label: impl Into<String>, events: Vec<MemEvent>) -> Self {
+        Self {
+            label: label.into(),
+            events: events.into_iter(),
+        }
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_event(&mut self) -> Option<MemEvent> {
+        self.events.next()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_trace_replays_in_order() {
+        let mut t = VecTrace::new(
+            "t",
+            vec![
+                MemEvent {
+                    gap_instructions: 10,
+                    op: TraceOp::Read {
+                        addr: LineAddr::new(1),
+                        critical: true,
+                    },
+                },
+                MemEvent {
+                    gap_instructions: 5,
+                    op: TraceOp::Write {
+                        addr: LineAddr::new(2),
+                        data: Box::new([0; 64]),
+                    },
+                },
+            ],
+        );
+        assert_eq!(t.label(), "t");
+        assert_eq!(t.next_event().expect("first").gap_instructions, 10);
+        assert_eq!(t.next_event().expect("second").gap_instructions, 5);
+        assert!(t.next_event().is_none());
+    }
+}

@@ -1,0 +1,203 @@
+#![warn(missing_docs)]
+
+//! Dynamic memory energy model (the NVMain-based analysis of paper
+//! Section 6.3, Fig. 17).
+//!
+//! Mat-level dynamic energy has three first-order components:
+//!
+//! * **read energy** — a fixed cost per line read (row activation, sensing
+//!   and burst);
+//! * **write pulse energy** — power drawn for the entire RESET pulse by the
+//!   selected cells, the half-selected sneak paths and line biasing; this
+//!   term is proportional to `tWR`, which is exactly what variable-latency
+//!   schemes shrink;
+//! * **switching energy** — per-cell cost of actually toggling state,
+//!   proportional to the number of SET/RESET transitions (what FNW
+//!   reduces).
+//!
+//! Absolute joules are calibrated against the device parameters of Table 1
+//! (see [`EnergyParams::default`]); the reproduced figure reports energy
+//! normalized to the baseline scheme, so only the ratios matter.
+
+use ladder_reram::Picos;
+
+/// Energy model coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Energy of one demand/dependency line read, in picojoules.
+    pub read_pj: f64,
+    /// Fixed energy per write, in picojoules: decoder/driver activation
+    /// and the SET phase that follows the RESET (whose latency the timing
+    /// model does not scale).
+    pub write_base_pj: f64,
+    /// Power drawn during a write pulse across the line's 64 mats, in
+    /// milliwatts.
+    pub write_pulse_mw: f64,
+    /// Energy per switched cell, in picojoules.
+    pub switch_pj_per_bit: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        // Per mat during RESET: selected cells plus sneak at 3 V ≈ 0.9 mW;
+        // 64 mats ≈ 58 mW of pulse power. Reads sense at low bias (~3 nJ
+        // per 64 B line including periphery); the per-write base covers
+        // decoder/driver activation and the trailing SET phase.
+        Self {
+            read_pj: 3000.0,
+            write_base_pj: 8000.0,
+            write_pulse_mw: 58.0,
+            switch_pj_per_bit: 2.0,
+        }
+    }
+}
+
+/// Accumulated dynamic energy, split the way Fig. 17 plots it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Read energy in picojoules.
+    pub read_pj: f64,
+    /// Write energy (pulse + switching) in picojoules.
+    pub write_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total dynamic energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.read_pj + self.write_pj
+    }
+
+    /// This breakdown normalized to a baseline total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline total is not positive.
+    pub fn normalized_to(&self, baseline: &EnergyBreakdown) -> (f64, f64) {
+        let total = baseline.total_pj();
+        assert!(total > 0.0, "baseline energy must be positive");
+        (self.read_pj / total, self.write_pj / total)
+    }
+}
+
+/// Meter accumulating operation energies.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_energy::{EnergyMeter, EnergyParams};
+/// use ladder_reram::Picos;
+///
+/// let mut m = EnergyMeter::new(EnergyParams::default());
+/// m.record_reads(5);
+/// m.record_write(Picos::from_ns(658.0), 100);
+/// let e = m.breakdown();
+/// assert!(e.write_pj > e.read_pj, "one worst-case write out-costs 5 reads");
+/// assert!(e.write_pj > 40_000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    params: EnergyParams,
+    acc: EnergyBreakdown,
+}
+
+impl EnergyMeter {
+    /// Creates a zeroed meter.
+    pub fn new(params: EnergyParams) -> Self {
+        Self {
+            params,
+            acc: EnergyBreakdown::default(),
+        }
+    }
+
+    /// Records `count` line reads (demand or metadata/stale-block).
+    pub fn record_reads(&mut self, count: u64) {
+        self.acc.read_pj += count as f64 * self.params.read_pj;
+    }
+
+    /// Records one write with pulse length `t_wr` switching `bits` cells.
+    pub fn record_write(&mut self, t_wr: Picos, bits: u64) {
+        self.record_write_aggregate(t_wr, bits, 1);
+    }
+
+    /// Records a batch of `count` writes given their aggregate pulse time
+    /// and switched-bit count (how controller statistics arrive).
+    pub fn record_write_aggregate(&mut self, total_t_wr: Picos, total_bits: u64, count: u64) {
+        // mW × ns = pJ.
+        self.acc.write_pj += count as f64 * self.params.write_base_pj
+            + self.params.write_pulse_mw * total_t_wr.as_ns()
+            + total_bits as f64 * self.params.switch_pj_per_bit;
+    }
+
+    /// The accumulated breakdown.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        self.acc
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_energy_scales_with_pulse_length() {
+        let mut fast = EnergyMeter::new(EnergyParams::default());
+        let mut slow = EnergyMeter::new(EnergyParams::default());
+        fast.record_write(Picos::from_ns(29.0), 50);
+        slow.record_write(Picos::from_ns(658.0), 50);
+        let ratio = slow.breakdown().write_pj / fast.breakdown().write_pj;
+        // The pulse term dominates the fixed base at worst-case length.
+        assert!(ratio > 3.5, "pulse term must dominate ({ratio})");
+        let delta = slow.breakdown().write_pj - fast.breakdown().write_pj;
+        let expect = 58.0 * (658.0 - 29.0);
+        assert!((delta - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn switching_term_counts() {
+        let p = EnergyParams::default();
+        let mut a = EnergyMeter::new(p);
+        let mut b = EnergyMeter::new(p);
+        a.record_write(Picos::from_ns(100.0), 0);
+        b.record_write(Picos::from_ns(100.0), 512);
+        let delta = b.breakdown().write_pj - a.breakdown().write_pj;
+        assert!((delta - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_equals_sum_of_singles() {
+        let p = EnergyParams::default();
+        let mut single = EnergyMeter::new(p);
+        single.record_write(Picos::from_ns(100.0), 10);
+        single.record_write(Picos::from_ns(200.0), 20);
+        let mut agg = EnergyMeter::new(p);
+        agg.record_write_aggregate(Picos::from_ns(300.0), 30, 2);
+        assert!((single.breakdown().write_pj - agg.breakdown().write_pj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_against_baseline() {
+        let base = EnergyBreakdown {
+            read_pj: 30.0,
+            write_pj: 70.0,
+        };
+        let mine = EnergyBreakdown {
+            read_pj: 30.0,
+            write_pj: 20.0,
+        };
+        let (r, w) = mine.normalized_to(&base);
+        assert!((r - 0.3).abs() < 1e-12);
+        assert!((w - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_baseline_panics() {
+        let z = EnergyBreakdown::default();
+        let _ = z.normalized_to(&z);
+    }
+}

@@ -1,0 +1,191 @@
+//! Log-bucketed latency histogram for tail-latency reporting.
+//!
+//! The paper's motivation is that long RESETs block reads; averages hide
+//! how bad the blocked reads get. The controller records every demand-read
+//! latency here so experiments can report P50/P95/P99 alongside the mean.
+
+use ladder_reram::Picos;
+
+/// Number of logarithmic buckets (~1 ns to ~1 ms at 2 buckets/octave).
+const BUCKETS: usize = 64;
+
+/// A latency histogram with logarithmic buckets.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_memctrl::LatencyHistogram;
+/// use ladder_reram::Picos;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ns in [30.0, 35.0, 40.0, 600.0] {
+///     h.record(Picos::from_ns(ns));
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(0.50).as_ns() < 100.0);
+/// assert!(h.percentile(0.99).as_ns() > 300.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: Picos,
+    max: Picos,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum: Picos::ZERO,
+            max: Picos::ZERO,
+        }
+    }
+
+    /// Bucket index for a latency: 2 buckets per octave starting at 1 ns.
+    fn bucket_of(lat: Picos) -> usize {
+        let ns2 = (lat.as_ps() / 500).max(1); // half-nanoseconds
+        let idx = (64 - ns2.leading_zeros()) as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Upper latency bound of a bucket.
+    fn bucket_upper(idx: usize) -> Picos {
+        Picos::from_ps(500u64.saturating_mul(1u64 << idx.min(53)))
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, lat: Picos) {
+        self.counts[Self::bucket_of(lat)] += 1;
+        self.total += 1;
+        self.sum += lat;
+        self.max = self.max.max(lat);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Picos {
+        if self.total == 0 {
+            Picos::ZERO
+        } else {
+            self.sum / self.total
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Picos {
+        self.max
+    }
+
+    /// Approximate percentile (`q` in `0..=1`): the upper bound of the
+    /// bucket containing the q-quantile sample, clamped at the observed
+    /// maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Picos {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return Picos::ZERO;
+        }
+        let target = ((self.total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Picos::ZERO);
+        assert_eq!(h.percentile(0.99), Picos::ZERO);
+    }
+
+    #[test]
+    fn percentiles_order_correctly() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Picos::from_ps(i * 1000)); // 1..1000 ns uniform
+        }
+        let p50 = h.percentile(0.50);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50.as_ns() >= 400.0 && p50.as_ns() <= 1024.0);
+        assert_eq!(h.percentile(1.0), h.max());
+    }
+
+    #[test]
+    fn mean_is_exact_not_bucketed() {
+        let mut h = LatencyHistogram::new();
+        h.record(Picos::from_ps(100));
+        h.record(Picos::from_ps(300));
+        assert_eq!(h.mean(), Picos::from_ps(200));
+    }
+
+    #[test]
+    fn bimodal_distribution_shows_in_the_tail() {
+        // 95 % fast reads at ~35 ns, 5 % blocked behind a 658 ns write.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..950 {
+            h.record(Picos::from_ns(35.0));
+        }
+        for _ in 0..50 {
+            h.record(Picos::from_ns(690.0));
+        }
+        assert!(h.percentile(0.50).as_ns() < 70.0);
+        assert!(h.percentile(0.99).as_ns() > 500.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Picos::from_ns(10.0));
+        b.record(Picos::from_ns(1000.0));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.percentile(1.0).as_ns() >= 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        let h = LatencyHistogram::new();
+        let _ = h.percentile(1.5);
+    }
+}

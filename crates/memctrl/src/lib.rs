@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Cycle-level ReRAM memory controller with pluggable write-latency
+//! policies.
+//!
+//! The controller models what the paper's gem5 configuration models: a
+//! per-channel 32-entry read queue and 64-entry write queue, bank and bus
+//! occupancy, and write-drain scheduling with an 85 % switching threshold.
+//! The write-latency *scheme* — baseline, Split-reset, BLP, LADDER,
+//! Oracle — plugs in through the [`WritePolicy`] trait, so every scheme
+//! runs under identical queueing dynamics, as in the paper's evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use ladder_memctrl::{FixedWorstPolicy, MemCtrlConfig, MemoryController};
+//! use ladder_reram::{AddressMap, Geometry, Instant, LineAddr};
+//! use ladder_xbar::{TableConfig, TimingTable};
+//!
+//! let map = AddressMap::new(Geometry::default());
+//! let table = TimingTable::generate(&TableConfig::ladder_default())?;
+//! let policy = Box::new(FixedWorstPolicy::new(&table));
+//! let mut mc = MemoryController::new(MemCtrlConfig::default(), map, policy);
+//!
+//! let t0 = Instant::ZERO;
+//! mc.enqueue_write(LineAddr::new(4096), [0xAB; 64], t0);
+//! let end = mc.finish(t0);
+//! assert!(end > t0);
+//! assert_eq!(mc.stats().data_writes, 1);
+//! # Ok::<(), ladder_xbar::MnaError>(())
+//! ```
+
+mod controller;
+mod histogram;
+mod policy;
+
+pub use controller::{AccessObserver, MemCtrlConfig, MemStats, MemoryController, ReqId};
+pub use histogram::LatencyHistogram;
+pub use policy::{
+    standard_tables, BlpPolicy, CwTrace, FixedWorstPolicy, LadderPolicy, LocationAwarePolicy,
+    OraclePolicy, PrepResult, ServiceResult, SplitResetPolicy, WritePolicy,
+};

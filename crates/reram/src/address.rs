@@ -1,0 +1,279 @@
+//! Physical address mapping: line addresses → (channel, rank, bank,
+//! wordline, mat group, block slot).
+//!
+//! Consecutive 4 KB pages rotate across channels, then ranks, then banks,
+//! then wordlines, then mat groups: sequential traffic spreads over all the
+//! parallelism the module offers *and* over the whole wordline range (the
+//! location dimension of the timing model), while each page stays whole
+//! inside one wordline group (the invariant LADDER's metadata layout relies
+//! on).
+
+use crate::geometry::{Geometry, LINES_PER_WLG};
+use std::fmt;
+
+/// Index of a 64 B memory line (line number, not a byte address).
+///
+/// # Examples
+///
+/// ```
+/// use ladder_reram::LineAddr;
+/// let a = LineAddr::new(1000);
+/// assert_eq!(a.page(), 15);
+/// assert_eq!(a.block_slot(), 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Wraps a raw line index.
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// The 4 KB page this line belongs to.
+    pub const fn page(self) -> u64 {
+        self.0 / LINES_PER_WLG as u64
+    }
+
+    /// The line's slot (0–63) within its wordline group.
+    pub const fn block_slot(self) -> usize {
+        (self.0 % LINES_PER_WLG as u64) as usize
+    }
+
+    /// Raw line index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Byte address of the line's first byte.
+    pub const fn byte_address(self) -> u64 {
+        self.0 * crate::geometry::LINE_BYTES as u64
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {:#x}", self.0)
+    }
+}
+
+/// Globally unique wordline-group identifier (equal to the page number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WlgId(pub u64);
+
+impl fmt::Display for WlgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wlg {:#x}", self.0)
+    }
+}
+
+/// A line address decoded into its physical coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decoded {
+    /// Memory channel.
+    pub channel: usize,
+    /// Rank within the channel.
+    pub rank: usize,
+    /// Bank within the rank.
+    pub bank: usize,
+    /// Mat group within the bank.
+    pub mat_group: usize,
+    /// Wordline index within the mats (0 = nearest the bitline driver).
+    pub wordline: usize,
+    /// The line's slot (0–63) within its wordline group.
+    pub block_slot: usize,
+}
+
+impl Decoded {
+    /// A flat bank identifier unique across the module, used to index bank
+    /// state arrays in the memory controller.
+    pub fn flat_bank(&self, g: &Geometry) -> usize {
+        (self.channel * g.ranks_per_channel + self.rank) * g.banks_per_rank + self.bank
+    }
+}
+
+/// The module's address map.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_reram::{AddressMap, Geometry, LineAddr};
+///
+/// let map = AddressMap::new(Geometry::default());
+/// let d = map.decode(LineAddr::new(12345));
+/// assert_eq!(map.encode(&d), LineAddr::new(12345));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    geometry: Geometry,
+}
+
+impl AddressMap {
+    /// Builds the map for a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry violates the structural constraints of
+    /// [`Geometry::validate`].
+    pub fn new(geometry: Geometry) -> Self {
+        if let Err(msg) = geometry.validate() {
+            panic!("unsupported geometry: {msg}");
+        }
+        Self { geometry }
+    }
+
+    /// The underlying geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Decodes a line address into physical coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is beyond the module capacity.
+    pub fn decode(&self, line: LineAddr) -> Decoded {
+        let g = &self.geometry;
+        assert!(line.raw() < g.lines(), "{line} beyond module capacity");
+        let mut p = line.page();
+        let channel = (p % g.channels as u64) as usize;
+        p /= g.channels as u64;
+        let rank = (p % g.ranks_per_channel as u64) as usize;
+        p /= g.ranks_per_channel as u64;
+        let bank = (p % g.banks_per_rank as u64) as usize;
+        p /= g.banks_per_rank as u64;
+        let wordline = (p % g.mat_rows as u64) as usize;
+        p /= g.mat_rows as u64;
+        let mat_group = p as usize;
+        debug_assert!(mat_group < g.mat_groups_per_bank());
+        Decoded {
+            channel,
+            rank,
+            bank,
+            mat_group,
+            wordline,
+            block_slot: line.block_slot(),
+        }
+    }
+
+    /// Inverse of [`AddressMap::decode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn encode(&self, d: &Decoded) -> LineAddr {
+        let g = &self.geometry;
+        assert!(
+            d.channel < g.channels
+                && d.rank < g.ranks_per_channel
+                && d.bank < g.banks_per_rank
+                && d.mat_group < g.mat_groups_per_bank()
+                && d.wordline < g.mat_rows
+                && d.block_slot < LINES_PER_WLG,
+            "decoded coordinates out of range"
+        );
+        let mut p = d.mat_group as u64;
+        p = p * g.mat_rows as u64 + d.wordline as u64;
+        p = p * g.banks_per_rank as u64 + d.bank as u64;
+        p = p * g.ranks_per_channel as u64 + d.rank as u64;
+        p = p * g.channels as u64 + d.channel as u64;
+        LineAddr::new(p * LINES_PER_WLG as u64 + d.block_slot as u64)
+    }
+
+    /// The wordline group a line belongs to (one WLG per page).
+    pub fn wlg_of(&self, line: LineAddr) -> WlgId {
+        WlgId(line.page())
+    }
+
+    /// All 64 lines sharing a wordline group.
+    pub fn lines_of_wlg(&self, wlg: WlgId) -> impl Iterator<Item = LineAddr> {
+        let base = wlg.0 * LINES_PER_WLG as u64;
+        (0..LINES_PER_WLG as u64).map(move |i| LineAddr::new(base + i))
+    }
+
+    /// Location inputs for a timing-table lookup on a write to `line`:
+    /// `(wordline index, worst bit column)`.
+    pub fn write_location(&self, line: LineAddr) -> (usize, usize) {
+        let d = self.decode(line);
+        (
+            d.wordline,
+            self.geometry.worst_column_of_slot(d.block_slot),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_encode_roundtrip_samples() {
+        let map = AddressMap::new(Geometry::default());
+        let lines = map.geometry().lines();
+        // Deterministic pseudo-random sample across the whole range.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = LineAddr::new(x % lines);
+            assert_eq!(map.encode(&map.decode(a)), a);
+        }
+    }
+
+    #[test]
+    fn consecutive_pages_rotate_channels() {
+        let map = AddressMap::new(Geometry::default());
+        let a = map.decode(LineAddr::new(0));
+        let b = map.decode(LineAddr::new(64));
+        assert_ne!(a.channel, b.channel);
+    }
+
+    #[test]
+    fn lines_of_a_page_share_wlg_and_wordline() {
+        let map = AddressMap::new(Geometry::default());
+        let wlg = map.wlg_of(LineAddr::new(64 * 777));
+        let mut slots = std::collections::HashSet::new();
+        let mut wordline = None;
+        for line in map.lines_of_wlg(wlg) {
+            let d = map.decode(line);
+            slots.insert(d.block_slot);
+            match wordline {
+                None => wordline = Some((d.channel, d.rank, d.bank, d.mat_group, d.wordline)),
+                Some(w) => {
+                    assert_eq!(w, (d.channel, d.rank, d.bank, d.mat_group, d.wordline));
+                }
+            }
+        }
+        assert_eq!(slots.len(), LINES_PER_WLG);
+    }
+
+    #[test]
+    fn write_location_tracks_slot() {
+        let map = AddressMap::new(Geometry::default());
+        let (wl0, col0) = map.write_location(LineAddr::new(0));
+        let (wl1, col1) = map.write_location(LineAddr::new(63));
+        assert_eq!(wl0, wl1, "same page, same wordline");
+        assert_eq!(col0, 7);
+        assert_eq!(col1, 511);
+    }
+
+    #[test]
+    fn flat_bank_is_unique_per_bank() {
+        let g = Geometry::default();
+        let map = AddressMap::new(g.clone());
+        let mut seen = std::collections::HashSet::new();
+        for page in 0..g.total_banks() as u64 {
+            let d = map.decode(LineAddr::new(page * 64));
+            seen.insert(d.flat_bank(&g));
+        }
+        assert_eq!(seen.len(), g.total_banks());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond module capacity")]
+    fn oob_address_panics() {
+        let g = Geometry::default();
+        let lines = g.lines();
+        let map = AddressMap::new(g);
+        let _ = map.decode(LineAddr::new(lines));
+    }
+}

@@ -1,0 +1,102 @@
+//! Sparse backing store for memory-line contents.
+//!
+//! LADDER's behaviour depends on the actual bits resident in memory (LRS
+//! counters, Flip-N-Write decisions, compression). Simulated working sets
+//! are far smaller than the module capacity, so contents are kept sparsely:
+//! untouched lines read as all-zero (all-HRS), which is also the state of a
+//! freshly formed ReRAM array.
+
+use crate::address::LineAddr;
+use crate::geometry::LINE_BYTES;
+use std::collections::HashMap;
+
+/// Contents of one 64 B memory line.
+pub type LineData = [u8; LINE_BYTES];
+
+/// Sparse map from line address to current contents.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_reram::{LineAddr, LineStore};
+///
+/// let mut store = LineStore::new();
+/// let a = LineAddr::new(42);
+/// assert_eq!(store.read(a), [0u8; 64]);
+/// let old = store.write(a, [0xFF; 64]);
+/// assert_eq!(old, [0u8; 64]);
+/// assert_eq!(store.read(a)[0], 0xFF);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LineStore {
+    lines: HashMap<u64, LineData>,
+}
+
+impl LineStore {
+    /// Creates an empty (all-zero) store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a line; untouched lines are all-zero.
+    pub fn read(&self, addr: LineAddr) -> LineData {
+        self.lines
+            .get(&addr.raw())
+            .copied()
+            .unwrap_or([0; LINE_BYTES])
+    }
+
+    /// Writes a line, returning the previous contents (the "stale memory
+    /// block" LADDER-Basic reads back).
+    pub fn write(&mut self, addr: LineAddr, data: LineData) -> LineData {
+        self.lines
+            .insert(addr.raw(), data)
+            .unwrap_or([0; LINE_BYTES])
+    }
+
+    /// Whether the line has ever been written.
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.lines.contains_key(&addr.raw())
+    }
+
+    /// Number of lines ever written.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+/// Number of `1` bits in a line.
+pub fn line_ones(data: &LineData) -> u32 {
+    data.iter().map(|b| b.count_ones()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reads_zero() {
+        let store = LineStore::new();
+        assert_eq!(store.read(LineAddr::new(7)), [0u8; LINE_BYTES]);
+        assert!(!store.contains(LineAddr::new(7)));
+    }
+
+    #[test]
+    fn write_returns_previous() {
+        let mut store = LineStore::new();
+        let a = LineAddr::new(1);
+        let first = store.write(a, [1; LINE_BYTES]);
+        assert_eq!(first, [0; LINE_BYTES]);
+        let second = store.write(a, [2; LINE_BYTES]);
+        assert_eq!(second, [1; LINE_BYTES]);
+        assert_eq!(store.resident_lines(), 1);
+    }
+
+    #[test]
+    fn ones_counting() {
+        let mut data = [0u8; LINE_BYTES];
+        data[0] = 0b1010_1010;
+        data[63] = 0xFF;
+        assert_eq!(line_ones(&data), 12);
+    }
+}

@@ -1,0 +1,218 @@
+//! Integer picosecond time base shared by the whole simulator.
+//!
+//! All device timings (tCL = 13.75 ns, tBURST = 5 ns, tWR = 29–658 ns, …)
+//! are exact multiples of 1 ps, so simulation arithmetic is exact — no
+//! floating-point drift across billions of cycles.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A span of simulated time in picoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_reram::Picos;
+///
+/// let t_cl = Picos::from_ns(13.75);
+/// assert_eq!(t_cl.as_ps(), 13_750);
+/// assert_eq!((t_cl + t_cl).as_ns(), 27.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Picos(u64);
+
+impl Picos {
+    /// Zero-length span.
+    pub const ZERO: Picos = Picos(0);
+
+    /// Creates a span of `ps` picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Picos(ps)
+    }
+
+    /// Creates a span from nanoseconds, rounding up to whole picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    pub fn from_ns(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "duration must be non-negative");
+        Picos((ns * 1000.0).ceil() as u64)
+    }
+
+    /// The span in picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// The span in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Picos) -> Picos {
+        Picos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Picos {
+    type Output = Picos;
+    fn add(self, rhs: Picos) -> Picos {
+        Picos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Picos {
+    fn add_assign(&mut self, rhs: Picos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Picos {
+    type Output = Picos;
+    fn sub(self, rhs: Picos) -> Picos {
+        Picos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Picos {
+    fn sub_assign(&mut self, rhs: Picos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Picos {
+    type Output = Picos;
+    fn mul(self, rhs: u64) -> Picos {
+        Picos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Picos {
+    type Output = Picos;
+    fn div(self, rhs: u64) -> Picos {
+        Picos(self.0 / rhs)
+    }
+}
+
+impl Sum for Picos {
+    fn sum<I: Iterator<Item = Picos>>(iter: I) -> Picos {
+        Picos(iter.map(|p| p.0).sum())
+    }
+}
+
+impl fmt::Display for Picos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ns", self.as_ns())
+    }
+}
+
+/// An absolute simulated timestamp in picoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_reram::{Instant, Picos};
+///
+/// let t0 = Instant::ZERO;
+/// let t1 = t0 + Picos::from_ns(5.0);
+/// assert_eq!(t1.duration_since(t0), Picos::from_ns(5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(u64);
+
+impl Instant {
+    /// Simulation start.
+    pub const ZERO: Instant = Instant(0);
+
+    /// Creates an instant at `ps` picoseconds after start.
+    pub const fn from_ps(ps: u64) -> Self {
+        Instant(ps)
+    }
+
+    /// Picoseconds since simulation start.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed span since an earlier instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: Instant) -> Picos {
+        debug_assert!(earlier.0 <= self.0, "duration_since of a later instant");
+        Picos(self.0 - earlier.0)
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Instant) -> Instant {
+        Instant(self.0.max(other.0))
+    }
+}
+
+impl Add<Picos> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Picos) -> Instant {
+        Instant(self.0 + rhs.as_ps())
+    }
+}
+
+impl AddAssign<Picos> for Instant {
+    fn add_assign(&mut self, rhs: Picos) {
+        self.0 += rhs.as_ps();
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3} ns", self.0 as f64 / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_conversion_rounds_up() {
+        assert_eq!(Picos::from_ns(13.75).as_ps(), 13_750);
+        assert_eq!(Picos::from_ns(0.0001).as_ps(), 1);
+        assert_eq!(Picos::from_ns(0.0).as_ps(), 0);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Picos::from_ps(100);
+        let b = Picos::from_ps(40);
+        assert_eq!((a + b).as_ps(), 140);
+        assert_eq!((a - b).as_ps(), 60);
+        assert_eq!((a * 3).as_ps(), 300);
+        assert_eq!((a / 4).as_ps(), 25);
+        assert_eq!(b.saturating_sub(a), Picos::ZERO);
+    }
+
+    #[test]
+    fn instants_order_and_advance() {
+        let mut t = Instant::ZERO;
+        t += Picos::from_ps(10);
+        let later = t + Picos::from_ps(5);
+        assert!(later > t);
+        assert_eq!(later.duration_since(t).as_ps(), 5);
+        assert_eq!(t.max(later), later);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Picos = (1..=4).map(Picos::from_ps).sum();
+        assert_eq!(total.as_ps(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let _ = Picos::from_ns(-1.0);
+    }
+}

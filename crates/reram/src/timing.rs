@@ -1,0 +1,69 @@
+//! Device-level timing parameters (paper Table 2).
+
+use crate::time::Picos;
+
+/// Fixed ReRAM access timings; the write-recovery time `tWR` is the one
+/// variable component, supplied per write by the active scheme.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_reram::DeviceTiming;
+///
+/// let t = DeviceTiming::default();
+/// assert_eq!(t.read_latency().as_ns(), 32.5); // tRCD + tCL + tBURST
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceTiming {
+    /// Column access (CAS) latency.
+    pub t_cl: Picos,
+    /// Row-to-column delay.
+    pub t_rcd: Picos,
+    /// Data burst time for one 64 B line.
+    pub t_burst: Picos,
+}
+
+impl Default for DeviceTiming {
+    fn default() -> Self {
+        Self {
+            t_cl: Picos::from_ns(13.75),
+            t_rcd: Picos::from_ns(13.75),
+            t_burst: Picos::from_ns(5.0),
+        }
+    }
+}
+
+impl DeviceTiming {
+    /// Bank occupancy of one read: `tRCD + tCL + tBURST`.
+    pub fn read_latency(&self) -> Picos {
+        self.t_rcd + self.t_cl + self.t_burst
+    }
+
+    /// Bank occupancy of one write with write-recovery time `t_wr`:
+    /// `tRCD + tWR + tBURST`.
+    pub fn write_latency(&self, t_wr: Picos) -> Picos {
+        self.t_rcd + t_wr + self.t_burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let t = DeviceTiming::default();
+        assert_eq!(t.t_cl, Picos::from_ns(13.75));
+        assert_eq!(t.t_rcd, Picos::from_ns(13.75));
+        assert_eq!(t.t_burst, Picos::from_ns(5.0));
+    }
+
+    #[test]
+    fn write_latency_scales_with_twr() {
+        let t = DeviceTiming::default();
+        let fast = t.write_latency(Picos::from_ns(29.0));
+        let slow = t.write_latency(Picos::from_ns(658.0));
+        assert_eq!((slow - fast).as_ns(), 629.0);
+        assert!(slow > t.read_latency());
+    }
+}

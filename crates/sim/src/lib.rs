@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Full-system simulation and the paper's experiments.
+//!
+//! This crate assembles the substrates — crossbar timing tables
+//! (`ladder-xbar`), the memory controller and scheme policies
+//! (`ladder-memctrl`), cores (`ladder-cpu`), synthetic workloads
+//! (`ladder-workloads`), energy (`ladder-energy`) and wear (`ladder-wear`)
+//! — into runnable systems, and exposes one function per paper table or
+//! figure in [`experiments`].
+
+pub mod ablations;
+pub mod experiments;
+pub mod overhead;
+mod scheme;
+mod system;
+
+pub use scheme::Scheme;
+pub use system::{CoreResult, RunResult, SystemBuilder};

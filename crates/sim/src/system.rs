@@ -1,0 +1,591 @@
+//! The full-system simulator: cores, memory controller, optional
+//! wear-leveling, and the event loop connecting them.
+
+use crate::scheme::Scheme;
+use ladder_core::LadderConfig;
+use ladder_cpu::{Core, CoreAction, CoreConfig, TraceSource};
+use ladder_energy::{EnergyBreakdown, EnergyMeter, EnergyParams};
+use ladder_memctrl::{CwTrace, LatencyHistogram, MemCtrlConfig, MemStats, MemoryController, ReqId};
+use ladder_reram::{AddressMap, Geometry, Instant, LineAddr, Picos};
+use ladder_wear::{RotateHwl, SharedWearMap, WearLeveler};
+use ladder_xbar::{CrossbarParams, TimingTable};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Per-core outcome of a run.
+#[derive(Debug, Clone)]
+pub struct CoreResult {
+    /// Workload label.
+    pub label: String,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Instructions per cycle over the core's own execution window.
+    pub ipc: f64,
+    /// When the core finished.
+    pub finish: Instant,
+    /// Time the core spent stalled on memory.
+    pub stall: Picos,
+}
+
+/// Outcome of one system run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheme that was active.
+    pub scheme: Scheme,
+    /// Per-core results (inactive cores omitted).
+    pub cores: Vec<CoreResult>,
+    /// Memory-controller statistics.
+    pub mem: MemStats,
+    /// Dynamic energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Final simulated time (after the closing drain).
+    pub end: Instant,
+    /// Estimation-accuracy trace (LADDER schemes with tracking enabled).
+    pub cw_trace: Option<CwTrace>,
+    /// Metadata-cache hit ratio (LADDER schemes).
+    pub cache_hit: Option<f64>,
+    /// `(flips cancelled, flip opportunities)` under constrained FNW
+    /// (LADDER schemes).
+    pub fnw: Option<(u64, u64)>,
+    /// Distribution of demand-read latencies.
+    pub read_histogram: LatencyHistogram,
+    /// Wear map, when wear tracking was requested.
+    pub wear: Option<SharedWearMap>,
+}
+
+impl RunResult {
+    /// IPC of core 0 (the single-programmed metric).
+    pub fn ipc0(&self) -> f64 {
+        self.cores.first().map(|c| c.ipc).unwrap_or(0.0)
+    }
+
+    /// Renders a human-readable report of everything this run measured.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "scheme: {}", self.scheme.name());
+        for (i, c) in self.cores.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  core {i} ({}): {} instructions, IPC {:.3}, stalled {:.1} us",
+                c.label,
+                c.retired,
+                c.ipc,
+                c.stall.as_ns() / 1000.0
+            );
+        }
+        let m = &self.mem;
+        let _ = writeln!(
+            out,
+            "  reads: {} demand (avg {:.1} ns, P95 {:.1}, P99 {:.1}), {} SMB, {} metadata",
+            m.demand_reads,
+            m.avg_read_latency().as_ns(),
+            self.read_histogram.percentile(0.95).as_ns(),
+            self.read_histogram.percentile(0.99).as_ns(),
+            m.smb_reads,
+            m.metadata_reads
+        );
+        let _ = writeln!(
+            out,
+            "  writes: {} data (avg service {:.1} ns), {} metadata, {} drain switches",
+            m.data_writes,
+            m.avg_write_service().as_ns(),
+            m.metadata_writes,
+            m.drain_switches
+        );
+        let _ = writeln!(
+            out,
+            "  cells switched: {} set, {} reset",
+            m.bits_set, m.bits_reset
+        );
+        let _ = writeln!(
+            out,
+            "  energy: {:.1} nJ read + {:.1} nJ write",
+            self.energy.read_pj / 1000.0,
+            self.energy.write_pj / 1000.0
+        );
+        if let Some(hit) = self.cache_hit {
+            let _ = writeln!(out, "  metadata cache hit ratio: {hit:.3}");
+        }
+        if let Some((cancelled, opportunities)) = self.fnw {
+            if opportunities > 0 {
+                let _ = writeln!(
+                    out,
+                    "  FNW: {cancelled}/{opportunities} flips cancelled by the constraint"
+                );
+            }
+        }
+        if let Some(t) = self.cw_trace {
+            let _ = writeln!(out, "  counter estimate − exact (mean): {:.1}", t.mean_diff());
+        }
+        let _ = writeln!(out, "  simulated time: {:.1} us", self.end.as_ps() as f64 / 1e6);
+        out
+    }
+
+    /// Mean write service time.
+    pub fn avg_write_service(&self) -> Picos {
+        self.mem.avg_write_service()
+    }
+
+    /// Mean demand read latency.
+    pub fn avg_read_latency(&self) -> Picos {
+        self.mem.avg_read_latency()
+    }
+}
+
+/// Everything needed to run one configuration.
+pub struct SystemBuilder {
+    geometry: Geometry,
+    mem_cfg: MemCtrlConfig,
+    core_cfg: CoreConfig,
+    params: CrossbarParams,
+    ladder_table: TimingTable,
+    blp_table: TimingTable,
+    scheme: Scheme,
+    traces: Vec<Box<dyn TraceSource>>,
+    core_mlps: Vec<usize>,
+    track_exact: bool,
+    track_wear: bool,
+    leveler: Option<Box<dyn WearLeveler>>,
+    hwl: Option<RotateHwl>,
+    energy_params: EnergyParams,
+    ladder_override: Option<LadderConfig>,
+}
+
+impl SystemBuilder {
+    /// Starts a builder for `scheme` over shared timing tables.
+    pub fn new(scheme: Scheme, ladder_table: TimingTable, blp_table: TimingTable) -> Self {
+        Self {
+            geometry: Geometry::default(),
+            mem_cfg: MemCtrlConfig::default(),
+            core_cfg: CoreConfig::default(),
+            params: CrossbarParams::default(),
+            ladder_table,
+            blp_table,
+            scheme,
+            traces: Vec::new(),
+            core_mlps: Vec::new(),
+            track_exact: false,
+            track_wear: false,
+            leveler: None,
+            hwl: None,
+            energy_params: EnergyParams::default(),
+            ladder_override: None,
+        }
+    }
+
+    /// Adds a core running `trace` with the given MLP.
+    pub fn core(&mut self, trace: Box<dyn TraceSource>, mlp: usize) -> &mut Self {
+        self.traces.push(trace);
+        self.core_mlps.push(mlp);
+        self
+    }
+
+    /// Overrides the LADDER engine configuration (cache geometry,
+    /// shifting, FNW policy, low-precision rows) for ablation studies;
+    /// ignored by non-LADDER schemes.
+    pub fn ladder_config(&mut self, cfg: LadderConfig) -> &mut Self {
+        self.ladder_override = Some(cfg);
+        self
+    }
+
+    /// Overrides the memory-controller configuration (queue depths, drain
+    /// watermarks).
+    pub fn mem_config(&mut self, cfg: MemCtrlConfig) -> &mut Self {
+        self.mem_cfg = cfg;
+        self
+    }
+
+    /// Enables the per-write exact-counter trace (Fig. 15).
+    pub fn track_exact(&mut self, on: bool) -> &mut Self {
+        self.track_exact = on;
+        self
+    }
+
+    /// Enables wear tracking.
+    pub fn track_wear(&mut self, on: bool) -> &mut Self {
+        self.track_wear = on;
+        self
+    }
+
+    /// Installs a vertical wear-leveler (applied before LADDER).
+    pub fn leveler(&mut self, l: Box<dyn WearLeveler>) -> &mut Self {
+        self.leveler = Some(l);
+        self
+    }
+
+    /// Installs horizontal wear-leveling (intra-line byte rotation).
+    pub fn horizontal_leveling(&mut self, on: bool) -> &mut Self {
+        self.hwl = if on { Some(RotateHwl::new()) } else { None };
+        self
+    }
+
+    /// Runs the configured system to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cores were added.
+    pub fn run(self) -> RunResult {
+        assert!(!self.traces.is_empty(), "at least one core required");
+        let map = AddressMap::new(self.geometry.clone());
+        let policy = self.scheme.build_policy_with(
+            &self.params,
+            &self.ladder_table,
+            &self.blp_table,
+            &map,
+            self.track_exact,
+            self.ladder_override.clone(),
+        );
+        let mut mc = MemoryController::new(self.mem_cfg, map, policy);
+        let wear = if self.track_wear {
+            let shared = SharedWearMap::new();
+            mc.set_observer(shared.clone());
+            Some(shared)
+        } else {
+            None
+        };
+        let mut cores: Vec<Core> = self
+            .traces
+            .into_iter()
+            .zip(&self.core_mlps)
+            .map(|(t, &mlp)| {
+                let cfg = CoreConfig {
+                    mlp,
+                    ..self.core_cfg
+                };
+                Core::new(cfg, t)
+            })
+            .collect();
+
+        let mut sim = SystemLoop {
+            mc,
+            leveler: self.leveler,
+            hwl: self.hwl,
+            pending_reads: HashMap::new(),
+            completions: BinaryHeap::new(),
+            pending_migrations: VecDeque::new(),
+            core_finish: vec![None; cores.len()],
+        };
+        let end = sim.run(&mut cores);
+
+        let core_results: Vec<CoreResult> = cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let finish = sim.core_finish[i].unwrap_or(end);
+                CoreResult {
+                    label: c.label().to_string(),
+                    retired: c.retired_instructions(),
+                    ipc: c.ipc(finish),
+                    finish,
+                    stall: c.stall_time(),
+                }
+            })
+            .collect();
+
+        let mem = sim.mc.stats();
+        let mut meter = EnergyMeter::new(self.energy_params);
+        meter.record_reads(mem.demand_reads + mem.smb_reads + mem.metadata_reads);
+        meter.record_write_aggregate(
+            mem.t_wr_data + mem.t_wr_metadata,
+            mem.bits_set + mem.bits_reset,
+            mem.data_writes + mem.metadata_writes,
+        );
+        RunResult {
+            scheme: self.scheme,
+            cores: core_results,
+            mem,
+            energy: meter.breakdown(),
+            end,
+            cw_trace: sim.mc.policy().cw_trace(),
+            cache_hit: sim.mc.policy().cache_hit_ratio(),
+            fnw: sim.mc.policy().fnw_stats(),
+            read_histogram: sim.mc.read_histogram().clone(),
+            wear,
+        }
+    }
+}
+
+/// Min-heap entry for read completions.
+#[derive(Debug, PartialEq, Eq)]
+struct Completion(Instant, ReqId);
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap.
+        other.0.cmp(&self.0).then(other.1.cmp(&self.1))
+    }
+}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct SystemLoop {
+    mc: MemoryController,
+    leveler: Option<Box<dyn WearLeveler>>,
+    hwl: Option<RotateHwl>,
+    pending_reads: HashMap<u64, usize>,
+    completions: BinaryHeap<Completion>,
+    pending_migrations: VecDeque<LineAddr>,
+    core_finish: Vec<Option<Instant>>,
+}
+
+impl SystemLoop {
+    fn map_addr(&self, logical: LineAddr) -> LineAddr {
+        match &self.leveler {
+            Some(l) => l.map(logical),
+            None => logical,
+        }
+    }
+
+    fn run(&mut self, cores: &mut [Core]) -> Instant {
+        let mut now = Instant::ZERO;
+        let mut guard: u64 = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 2_000_000_000, "system loop runaway");
+            self.mc.process(now);
+            // Collect newly scheduled completions.
+            for (id, at) in self.mc.take_completed_reads() {
+                self.completions.push(Completion(at, id));
+            }
+            // Deliver due completions.
+            while let Some(Completion(at, id)) = self.completions.peek() {
+                if *at > now {
+                    break;
+                }
+                let (at, id) = (*at, *id);
+                self.completions.pop();
+                if let Some(core_idx) = self.pending_reads.remove(&id.0) {
+                    cores[core_idx].on_read_completed(id.0, at);
+                }
+            }
+            // Drain deferred migration writes opportunistically.
+            while let Some(&m) = self.pending_migrations.front() {
+                if !self.mc.can_enqueue_write(m) {
+                    break;
+                }
+                let data = self.mc.store().read(m);
+                let ok = self.mc.enqueue_write(m, data, now);
+                debug_assert!(ok);
+                self.pending_migrations.pop_front();
+            }
+            // Let every core act.
+            let mut next_core_event: Option<Instant> = None;
+            let mut all_finished = true;
+            for (i, core) in cores.iter_mut().enumerate() {
+                loop {
+                    match core.next_action(now) {
+                        CoreAction::Finished => {
+                            if self.core_finish[i].is_none() {
+                                self.core_finish[i] = Some(now);
+                            }
+                            break;
+                        }
+                        CoreAction::Idle { until } => {
+                            all_finished = false;
+                            if let Some(t) = until {
+                                next_core_event = Some(match next_core_event {
+                                    Some(b) => b.min(t),
+                                    None => t,
+                                });
+                            }
+                            break;
+                        }
+                        CoreAction::IssueRead { addr } => {
+                            all_finished = false;
+                            let phys = self.map_addr(addr);
+                            match self.mc.enqueue_read(phys, now) {
+                                Some(id) => {
+                                    self.pending_reads.insert(id.0, i);
+                                    core.on_read_issued(id.0, now);
+                                }
+                                None => {
+                                    core.on_read_rejected(now);
+                                    break;
+                                }
+                            }
+                        }
+                        CoreAction::IssueWrite { addr, data } => {
+                            all_finished = false;
+                            let stored = match &mut self.hwl {
+                                Some(h) => h.rotate_for_write(addr, &data),
+                                None => *data,
+                            };
+                            let migrations = match &mut self.leveler {
+                                Some(l) => l.note_write(addr),
+                                None => Vec::new(),
+                            };
+                            let phys = self.map_addr(addr);
+                            if self.mc.enqueue_write(phys, stored, now) {
+                                core.on_write_accepted(now);
+                                self.pending_migrations.extend(migrations);
+                            } else {
+                                core.on_write_rejected(now);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if all_finished && self.completions.is_empty() {
+                break;
+            }
+            // Advance time to the next interesting instant.
+            let mut next = next_core_event;
+            let mut fold = |t: Option<Instant>| {
+                if let Some(t) = t {
+                    next = Some(match next {
+                        Some(b) => b.min(t),
+                        None => t,
+                    });
+                }
+            };
+            fold(self.mc.next_event(now));
+            fold(self.completions.peek().map(|c| c.0));
+            match next {
+                Some(t) if t > now => now = t,
+                Some(_) => {
+                    // Same-instant progress (e.g. a completion delivered
+                    // above unblocked a core); loop again at `now`.
+                }
+                None => {
+                    // Nothing scheduled: cores must be blocked on memory
+                    // that has work but needs a mode change, or on queue
+                    // space that a process() call will free. Nudge time by
+                    // one controller transaction to avoid a livelock.
+                    now += Picos::from_ns(1.0);
+                }
+            }
+        }
+        self.mc.finish(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladder_cpu::{MemEvent, TraceOp, VecTrace};
+    use ladder_memctrl::standard_tables;
+    use ladder_xbar::TableConfig;
+
+    fn tables() -> (TimingTable, TimingTable) {
+        standard_tables(&TableConfig::ladder_default())
+    }
+
+    fn simple_trace(n: u64, base_page: u64) -> VecTrace {
+        let events = (0..n)
+            .map(|i| MemEvent {
+                gap_instructions: 200,
+                op: if i % 3 == 0 {
+                    TraceOp::Write {
+                        addr: LineAddr::new(base_page * 64 + i % 640),
+                        data: Box::new([(i % 256) as u8; 64]),
+                    }
+                } else {
+                    TraceOp::Read {
+                        addr: LineAddr::new(base_page * 64 + (i * 7) % 640),
+                        critical: i % 2 == 0,
+                    }
+                },
+            })
+            .collect();
+        VecTrace::new("simple", events)
+    }
+
+    #[test]
+    fn single_core_run_completes() {
+        let (lt, bt) = tables();
+        let mut b = SystemBuilder::new(Scheme::Baseline, lt, bt);
+        b.core(Box::new(simple_trace(300, 40_000)), 8);
+        let r = b.run();
+        assert_eq!(r.cores.len(), 1);
+        assert!(r.cores[0].retired > 0);
+        assert!(r.cores[0].ipc > 0.0);
+        assert_eq!(r.mem.data_writes, 100);
+        assert_eq!(r.mem.demand_reads, 200);
+        assert!(r.energy.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn ladder_beats_baseline_on_write_service() {
+        let (lt, bt) = tables();
+        let run = |scheme| {
+            let mut b = SystemBuilder::new(scheme, lt.clone(), bt.clone());
+            b.core(Box::new(simple_trace(600, 40_000)), 8);
+            b.run()
+        };
+        let base = run(Scheme::Baseline);
+        let ladder = run(Scheme::LadderHybrid);
+        assert!(
+            ladder.avg_write_service() < base.avg_write_service(),
+            "LADDER {} vs baseline {}",
+            ladder.avg_write_service(),
+            base.avg_write_service()
+        );
+        assert!(ladder.cache_hit.expect("ladder cache") > 0.0);
+    }
+
+    #[test]
+    fn four_core_run_isolates_windows() {
+        let (lt, bt) = tables();
+        let mut b = SystemBuilder::new(Scheme::LadderEst, lt, bt);
+        for c in 0..4u64 {
+            b.core(Box::new(simple_trace(200, 40_000 + c * 5_000)), 8);
+        }
+        let r = b.run();
+        assert_eq!(r.cores.len(), 4);
+        for c in &r.cores {
+            assert!(c.retired > 0);
+        }
+        assert_eq!(r.mem.data_writes, 4 * 67); // 67 writes per core trace
+    }
+
+    #[test]
+    fn wear_tracking_collects_counts() {
+        let (lt, bt) = tables();
+        let mut b = SystemBuilder::new(Scheme::Baseline, lt, bt);
+        b.core(Box::new(simple_trace(90, 40_000)), 8);
+        b.track_wear(true);
+        let r = b.run();
+        let wear = r.wear.expect("tracking enabled");
+        assert_eq!(wear.with(|w| w.total_writes()), r.mem.data_writes);
+    }
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+    use crate::experiments::{run_one, ExperimentConfig, RunOptions, Workload};
+
+    #[test]
+    fn summary_mentions_every_section() {
+        let cfg = ExperimentConfig {
+            instructions_per_core: 20_000,
+            ..ExperimentConfig::default()
+        };
+        let tables = cfg.tables();
+        let r = run_one(
+            Scheme::LadderHybrid,
+            Workload::Single("astar"),
+            &cfg,
+            &tables,
+            RunOptions::default(),
+        );
+        let s = r.summary();
+        for needle in [
+            "scheme: LADDER-Hybrid",
+            "core 0 (astar)",
+            "reads:",
+            "writes:",
+            "cells switched:",
+            "energy:",
+            "metadata cache hit ratio:",
+            "simulated time:",
+        ] {
+            assert!(s.contains(needle), "summary missing {needle:?}:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Hot-page remapping to low-latency rows — the extension the paper's
+//! related-work section sketches (Section 8: Leader [62], Aliens [51]):
+//! "LADDER can potentially incorporate these techniques to further improve
+//! its performance".
+//!
+//! Pages close to the bitline drivers (low wordlines) RESET faster at every
+//! content level. The remapper tracks per-page write counts and
+//! periodically swaps the hottest unmapped page into a pool of low-row
+//! *frames*, so the write-dominant pages enjoy the fastest locations while
+//! LADDER continues to supply the content dimension. Swap migrations are
+//! surfaced as amortized extra writes, like the other levelers.
+
+use crate::leveling::WearLeveler;
+use ladder_reram::{LineAddr, LINES_PER_WLG};
+use std::collections::HashMap;
+
+/// Adaptive write-hot page remapper.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_wear::{HotPageRemapper, WearLeveler};
+/// use ladder_reram::LineAddr;
+///
+/// // Frames at pages 100..110; promote after every 8 writes.
+/// let mut r = HotPageRemapper::new((100..110).collect(), 8);
+/// let hot = LineAddr::new(5000 * 64);
+/// for _ in 0..16 {
+///     r.note_write(hot);
+/// }
+/// // The hot page now lives in a low-row frame (frames hand out from the
+/// // back of the pool).
+/// assert_eq!(r.map(hot).page(), 109);
+/// // And the frame's original page took the hot page's slot.
+/// assert_eq!(r.map(LineAddr::new(109 * 64)).page(), 5000);
+/// ```
+#[derive(Debug)]
+pub struct HotPageRemapper {
+    /// Low-row frame pages not yet holding a promoted page.
+    free_frames: Vec<u64>,
+    /// Symmetric page swap table.
+    swaps: HashMap<u64, u64>,
+    /// Per-page write counts since the last promotion.
+    counts: HashMap<u64, u64>,
+    writes: u64,
+    promote_interval: u64,
+    /// Migration writes still to surface (a swap copies two pages).
+    pending_migrations: u64,
+    /// Promotions performed (for reporting).
+    promotions: u64,
+}
+
+impl HotPageRemapper {
+    /// Creates a remapper with the given low-row frame pages, promoting the
+    /// hottest page every `promote_interval` writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `promote_interval` is zero.
+    pub fn new(frames: Vec<u64>, promote_interval: u64) -> Self {
+        assert!(promote_interval > 0, "promotion interval must be nonzero");
+        Self {
+            free_frames: frames,
+            swaps: HashMap::new(),
+            counts: HashMap::new(),
+            writes: 0,
+            promote_interval,
+            pending_migrations: 0,
+            promotions: 0,
+        }
+    }
+
+    /// Number of promotions performed so far.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    fn mapped_page(&self, page: u64) -> u64 {
+        self.swaps.get(&page).copied().unwrap_or(page)
+    }
+
+    fn promote_hottest(&mut self) {
+        let Some(frame) = self.free_frames.pop() else {
+            return;
+        };
+        // Hottest page that is not already promoted and not a frame itself.
+        let hottest = self
+            .counts
+            .iter()
+            .filter(|(p, _)| !self.swaps.contains_key(*p) && **p != frame)
+            .max_by_key(|(_, c)| **c)
+            .map(|(p, _)| *p);
+        match hottest {
+            Some(page) => {
+                self.swaps.insert(page, frame);
+                self.swaps.insert(frame, page);
+                // Two pages migrate: 2 × 64 lines.
+                self.pending_migrations += 2 * LINES_PER_WLG as u64;
+                self.promotions += 1;
+                // Decay history so the remapper stays adaptive without
+                // forgetting sustained heat entirely.
+                for c in self.counts.values_mut() {
+                    *c /= 2;
+                }
+            }
+            None => self.free_frames.push(frame),
+        }
+    }
+}
+
+impl WearLeveler for HotPageRemapper {
+    fn map(&self, logical: LineAddr) -> LineAddr {
+        let page = self.mapped_page(logical.page());
+        LineAddr::new(page * LINES_PER_WLG as u64 + logical.block_slot() as u64)
+    }
+
+    fn note_write(&mut self, logical: LineAddr) -> Vec<LineAddr> {
+        self.writes += 1;
+        *self.counts.entry(logical.page()).or_insert(0) += 1;
+        if self.writes.is_multiple_of(self.promote_interval) {
+            self.promote_hottest();
+        }
+        if self.pending_migrations > 0 {
+            self.pending_migrations -= 1;
+            return vec![self.map(logical)];
+        }
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "hot-page-remap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_identity_until_promotion() {
+        let r = HotPageRemapper::new(vec![10], 100);
+        assert_eq!(r.map(LineAddr::new(999 * 64 + 3)), LineAddr::new(999 * 64 + 3));
+    }
+
+    #[test]
+    fn hottest_page_wins_the_frame() {
+        let mut r = HotPageRemapper::new(vec![10], 10);
+        for i in 0..9u64 {
+            r.note_write(LineAddr::new(500 * 64 + i)); // 9 writes to page 500
+        }
+        r.note_write(LineAddr::new(600 * 64)); // 1 write to page 600
+        assert_eq!(r.promotions(), 1);
+        assert_eq!(r.map(LineAddr::new(500 * 64)).page(), 10);
+        assert_eq!(r.map(LineAddr::new(10 * 64)).page(), 500);
+        // Unrelated pages untouched.
+        assert_eq!(r.map(LineAddr::new(600 * 64)).page(), 600);
+    }
+
+    #[test]
+    fn swaps_remain_a_bijection() {
+        let mut r = HotPageRemapper::new(vec![10, 11, 12], 5);
+        let mut x = 7u64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let page = 100 + x % 50;
+            r.note_write(LineAddr::new(page * 64 + x % 64));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for page in (100..150).chain([10u64, 11, 12]) {
+            assert!(seen.insert(r.map(LineAddr::new(page * 64)).page()));
+        }
+    }
+
+    #[test]
+    fn migrations_amortize_after_each_swap() {
+        let mut r = HotPageRemapper::new(vec![10], 4);
+        let mut migrations = 0;
+        for i in 0..300u64 {
+            migrations += r.note_write(LineAddr::new(900 * 64 + i % 64)).len();
+        }
+        // One swap = 128 migration lines surfaced one per write.
+        assert_eq!(migrations, 128);
+    }
+
+    #[test]
+    fn frames_are_finite() {
+        let mut r = HotPageRemapper::new(vec![10], 2);
+        for i in 0..100u64 {
+            r.note_write(LineAddr::new((200 + i % 3) * 64));
+        }
+        assert_eq!(r.promotions(), 1, "only one frame to hand out");
+    }
+}

@@ -1,0 +1,280 @@
+//! The trace generator: turns a [`BenchmarkProfile`] into a deterministic
+//! stream of LLC-level memory events.
+
+use crate::data::{generate_line, DataSpec, PagePattern};
+use crate::profile::BenchmarkProfile;
+use crate::rng::SplitMix64;
+use ladder_cpu::{MemEvent, TraceOp, TraceSource};
+use ladder_reram::{LineAddr, LINES_PER_WLG};
+use std::collections::VecDeque;
+
+/// Recently-used pages a jump may return to (models the reuse set real
+/// applications exhibit; sized like a few levels of hot data structures).
+const RECENT_PAGES: usize = 96;
+
+/// Deterministic synthetic workload implementing [`TraceSource`].
+///
+/// # Examples
+///
+/// ```
+/// use ladder_cpu::TraceSource;
+/// use ladder_workloads::{profile_of, WorkloadGen};
+///
+/// let mut gen = WorkloadGen::new(profile_of("astar"), 42, 1000, 5000, 200);
+/// let mut reads = 0;
+/// let mut writes = 0;
+/// while let Some(ev) = gen.next_event() {
+///     match ev.op {
+///         ladder_cpu::TraceOp::Read { .. } => reads += 1,
+///         ladder_cpu::TraceOp::Write { .. } => writes += 1,
+///     }
+/// }
+/// assert_eq!(reads + writes, 200);
+/// assert!(reads > writes, "astar reads more than it writes");
+/// ```
+#[derive(Debug)]
+pub struct WorkloadGen {
+    profile: BenchmarkProfile,
+    rng: SplitMix64,
+    seed: u64,
+    page_base: u64,
+    page_count: u64,
+    current_page: u64,
+    current_slot: u64,
+    recent_pages: VecDeque<u64>,
+    events_left: u64,
+    mean_gap: f64,
+    write_prob: f64,
+}
+
+impl WorkloadGen {
+    /// Creates a generator over pages `[page_base, page_base + page_limit)`
+    /// emitting `memory_events` events.
+    ///
+    /// The working set is the smaller of the profile's nominal working set
+    /// and `page_limit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_limit` is zero.
+    pub fn new(
+        profile: BenchmarkProfile,
+        seed: u64,
+        page_base: u64,
+        page_limit: u64,
+        memory_events: u64,
+    ) -> Self {
+        assert!(page_limit > 0, "page window must be nonempty");
+        let page_count = profile.working_set_pages.min(page_limit);
+        let mean_gap = 1000.0 / (profile.rpki + profile.wpki);
+        let write_prob = profile.wpki / (profile.rpki + profile.wpki);
+        Self {
+            rng: SplitMix64::new(seed),
+            seed,
+            page_base,
+            page_count,
+            current_page: 0,
+            current_slot: 0,
+            recent_pages: VecDeque::new(),
+            events_left: memory_events,
+            mean_gap,
+            write_prob,
+            profile,
+        }
+    }
+
+    /// Creates a generator sized for `instructions` of execution.
+    pub fn for_instructions(
+        profile: BenchmarkProfile,
+        seed: u64,
+        page_base: u64,
+        page_limit: u64,
+        instructions: u64,
+    ) -> Self {
+        let events =
+            (instructions as f64 * (profile.rpki + profile.wpki) / 1000.0).round() as u64;
+        Self::new(profile, seed, page_base, page_limit, events.max(1))
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    fn advance_address(&mut self) -> LineAddr {
+        let stay = self.rng.next_f64() < self.profile.page_locality;
+        if self.profile.sequential {
+            if stay {
+                self.current_slot += 1;
+                if self.current_slot >= LINES_PER_WLG as u64 {
+                    self.current_slot = 0;
+                    self.jump_page(true);
+                }
+            } else {
+                self.jump_page(false);
+                self.current_slot = self.rng.next_below(LINES_PER_WLG as u64);
+            }
+        } else {
+            if !stay {
+                self.jump_page(false);
+            }
+            self.current_slot = self.rng.next_below(LINES_PER_WLG as u64);
+        }
+        LineAddr::new(
+            (self.page_base + self.current_page) * LINES_PER_WLG as u64 + self.current_slot,
+        )
+    }
+
+    /// Leaves the current page. A `stream` departure (sequential slot
+    /// wrap) continues to the next page; any other departure jumps to a
+    /// recently-used page with probability `page_reuse`, else to a fresh
+    /// uniform one.
+    fn jump_page(&mut self, stream: bool) {
+        if self.recent_pages.front() != Some(&self.current_page) {
+            self.recent_pages.push_front(self.current_page);
+            self.recent_pages.truncate(RECENT_PAGES);
+        }
+        if stream {
+            self.current_page = (self.current_page + 1) % self.page_count;
+            return;
+        }
+        let reuse = !self.recent_pages.is_empty()
+            && self.rng.next_f64() < self.profile.page_reuse;
+        self.current_page = if reuse {
+            let idx = self.rng.next_below(self.recent_pages.len() as u64) as usize;
+            self.recent_pages[idx]
+        } else {
+            self.rng.next_below(self.page_count)
+        };
+    }
+}
+
+impl TraceSource for WorkloadGen {
+    fn next_event(&mut self) -> Option<MemEvent> {
+        if self.events_left == 0 {
+            return None;
+        }
+        self.events_left -= 1;
+        let gap_instructions = self.rng.next_gap(self.mean_gap);
+        let addr = self.advance_address();
+        let op = if self.rng.next_f64() < self.write_prob {
+            let spec = DataSpec {
+                bit_density: self.profile.bit_density,
+                clustering: self.profile.clustering,
+                compressible_fraction: self.profile.compressible_fraction,
+            };
+            let pattern = PagePattern::for_page(addr.page(), self.seed);
+            let data = generate_line(&spec, &pattern, &mut self.rng);
+            TraceOp::Write {
+                addr,
+                data: Box::new(data),
+            }
+        } else {
+            TraceOp::Read {
+                addr,
+                critical: self.rng.next_f64() < self.profile.dependency_fraction,
+            }
+        };
+        Some(MemEvent {
+            gap_instructions,
+            op,
+        })
+    }
+
+    fn label(&self) -> &str {
+        self.profile.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_of;
+
+    fn drain(gen: &mut WorkloadGen) -> Vec<MemEvent> {
+        let mut out = Vec::new();
+        while let Some(e) = gen.next_event() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn event_count_and_determinism() {
+        let mut a = WorkloadGen::new(profile_of("mcf"), 7, 100, 1000, 500);
+        let mut b = WorkloadGen::new(profile_of("mcf"), 7, 100, 1000, 500);
+        let ea = drain(&mut a);
+        let eb = drain(&mut b);
+        assert_eq!(ea.len(), 500);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn addresses_stay_in_window() {
+        let mut gen = WorkloadGen::new(profile_of("lbm"), 3, 5000, 2000, 2000);
+        for ev in drain(&mut gen) {
+            let page = match ev.op {
+                TraceOp::Read { addr, .. } => addr.page(),
+                TraceOp::Write { addr, .. } => addr.page(),
+            };
+            assert!((5000..7000).contains(&page), "page {page} outside window");
+        }
+    }
+
+    #[test]
+    fn read_write_ratio_tracks_profile() {
+        let p = profile_of("lbm"); // rpki 14, wpki 6.5 → writes ≈ 32 %
+        let expect = p.wpki / (p.rpki + p.wpki);
+        let mut gen = WorkloadGen::new(p, 11, 0, 100_000, 20_000);
+        let events = drain(&mut gen);
+        let writes = events
+            .iter()
+            .filter(|e| matches!(e.op, TraceOp::Write { .. }))
+            .count() as f64;
+        let frac = writes / events.len() as f64;
+        assert!((frac - expect).abs() < 0.02, "write fraction {frac}");
+    }
+
+    #[test]
+    fn gap_mean_tracks_intensity() {
+        let p = profile_of("perlb");
+        let expect = 1000.0 / (p.rpki + p.wpki);
+        let mut gen = WorkloadGen::new(p, 13, 0, 100_000, 20_000);
+        let events = drain(&mut gen);
+        let mean: f64 =
+            events.iter().map(|e| e.gap_instructions as f64).sum::<f64>() / events.len() as f64;
+        assert!((mean - expect).abs() < expect * 0.06, "mean gap {mean}");
+    }
+
+    #[test]
+    fn sequential_workloads_walk_pages() {
+        let mut gen = WorkloadGen::new(profile_of("bwavs"), 17, 0, 100_000, 300);
+        let events = drain(&mut gen);
+        let mut sequential_steps = 0;
+        let mut last: Option<u64> = None;
+        for ev in &events {
+            let line = match ev.op {
+                TraceOp::Read { addr, .. } => addr.raw(),
+                TraceOp::Write { addr, .. } => addr.raw(),
+            };
+            if let Some(prev) = last {
+                if line == prev + 1 {
+                    sequential_steps += 1;
+                }
+            }
+            last = Some(line);
+        }
+        assert!(
+            sequential_steps > events.len() / 2,
+            "streaming workload must walk sequentially ({sequential_steps})"
+        );
+    }
+
+    #[test]
+    fn instruction_sizing_scales_events() {
+        let p = profile_of("mcf");
+        let expect = ((p.rpki + p.wpki) * 1000.0).round() as u64;
+        let gen = WorkloadGen::for_instructions(p, 1, 0, 100_000, 1_000_000);
+        assert_eq!(gen.events_left, expect);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Synthetic workload generators standing in for SPEC2006 / PARSEC.
+//!
+//! The paper drives its evaluation with eight single-programmed benchmarks
+//! and eight four-way mixes (Table 3). SPEC binaries cannot be shipped, so
+//! each benchmark is replaced by a seeded generator calibrated to the
+//! properties that matter at the memory controller — intensity, locality,
+//! latency sensitivity, data-pattern shape and compressibility (see
+//! [`BenchmarkProfile`] and DESIGN.md §2).
+//!
+//! # Examples
+//!
+//! ```
+//! use ladder_cpu::TraceSource;
+//! use ladder_workloads::{profile_of, WorkloadGen, MIXES};
+//!
+//! let mut gen = WorkloadGen::for_instructions(profile_of("libq"), 1, 0, 50_000, 100_000);
+//! assert_eq!(gen.label(), "libq");
+//! assert!(gen.next_event().is_some());
+//! assert_eq!(MIXES.len(), 8);
+//! ```
+
+mod data;
+mod generator;
+mod profile;
+mod rng;
+mod trace_io;
+
+pub use data::{generate_line, DataSpec, PagePattern};
+pub use generator::WorkloadGen;
+pub use profile::{profile_of, BenchmarkProfile, MIXES, SINGLE_BENCHMARKS};
+pub use rng::SplitMix64;
+pub use trace_io::{load_trace, parse_trace, record_trace, serialize_trace};

@@ -1,0 +1,196 @@
+//! Circuit-level parameters of the ReRAM crossbar (paper Table 1).
+
+/// Electrical and geometric parameters of one crossbar mat.
+///
+/// Defaults reproduce Table 1 of the paper: a 512×512 mat with 8 selected
+/// cells per RESET, 10 kΩ LRS / 2 MΩ HRS cells, 2.5 Ω wire segments,
+/// 100 Ω drivers, a selector with non-linearity 200, a 3 V write voltage and
+/// a 1.5 V (V/2) bias on half-selected lines.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_xbar::CrossbarParams;
+///
+/// let p = CrossbarParams::default();
+/// assert_eq!(p.rows, 512);
+/// assert_eq!(p.selected_cells, 8);
+/// assert!((p.write_voltage - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossbarParams {
+    /// Number of wordlines (rows) in the mat.
+    pub rows: usize,
+    /// Number of bitlines (columns) in the mat.
+    pub cols: usize,
+    /// Number of cells RESET simultaneously in one mat (one byte = 8).
+    pub selected_cells: usize,
+    /// Low-resistance-state (logical `1`) cell resistance in ohms.
+    pub r_lrs: f64,
+    /// High-resistance-state (logical `0`) cell resistance in ohms.
+    pub r_hrs: f64,
+    /// Wordline driver (input) resistance in ohms.
+    pub r_input: f64,
+    /// Bitline driver (output) resistance in ohms.
+    pub r_output: f64,
+    /// Resistance of one wire segment between adjacent cells, in ohms.
+    pub r_wire: f64,
+    /// Selector non-linearity: the factor by which the effective cell
+    /// resistance grows when the cell is biased at half the write voltage.
+    pub selector_nonlinearity: f64,
+    /// Full write (RESET) voltage in volts, applied to selected bitlines.
+    pub write_voltage: f64,
+    /// Bias voltage in volts applied to half-selected lines (V/2 scheme).
+    pub bias_voltage: f64,
+    /// Effective resistance of a cell while it is actively being RESET.
+    ///
+    /// The cell starts in LRS and ends in HRS; the pulse-averaged
+    /// resistance is modelled as the geometric mean of the two states
+    /// (≈ 141 kΩ for the default 10 kΩ/2 MΩ pair), which also reflects the
+    /// current compliance practical write drivers enforce.
+    pub r_reset_transition: f64,
+    /// Gain applied to the sneak current of half-selected cells on the
+    /// *selected wordline* in the fast analytic model.
+    ///
+    /// Calibrated so the content sensitivity of generated timing tables
+    /// reproduces the paper's published Figure 4b curves (≈ 7× latency
+    /// swing over the wordline LRS percentage at a far cell): the paper's
+    /// circuit-level setup exhibits stronger wordline-content dependence
+    /// than a first-order superposition predicts from Table 1 alone.
+    pub wl_sneak_gain: f64,
+}
+
+impl Default for CrossbarParams {
+    fn default() -> Self {
+        Self {
+            rows: 512,
+            cols: 512,
+            selected_cells: 8,
+            r_lrs: 10e3,
+            r_hrs: 2e6,
+            r_input: 100.0,
+            r_output: 100.0,
+            r_wire: 2.5,
+            selector_nonlinearity: 200.0,
+            write_voltage: 3.0,
+            bias_voltage: 1.5,
+            r_reset_transition: (10e3f64 * 2e6).sqrt(),
+            wl_sneak_gain: 3.0,
+        }
+    }
+}
+
+impl CrossbarParams {
+    /// Returns parameters for a mat of `rows × cols` cells, keeping the
+    /// default electrical values.
+    ///
+    /// Useful for tests and for validating solvers on small arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ladder_xbar::CrossbarParams;
+    /// let p = CrossbarParams::with_size(64, 64);
+    /// assert_eq!((p.rows, p.cols), (64, 64));
+    /// ```
+    pub fn with_size(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "crossbar dimensions must be nonzero");
+        Self {
+            rows,
+            cols,
+            ..Self::default()
+        }
+    }
+
+    /// Effective resistance of a cell under a given voltage magnitude.
+    ///
+    /// The selector model interpolates exponentially between a multiplier of
+    /// 1 at the full write voltage and `selector_nonlinearity` at the bias
+    /// voltage; at lower voltages the multiplier keeps growing up to the
+    /// square of the non-linearity (cells near 0 V are essentially cut off).
+    pub fn effective_resistance(&self, lrs: bool, v_abs: f64) -> f64 {
+        let base = if lrs { self.r_lrs } else { self.r_hrs };
+        base * self.selector_multiplier(v_abs)
+    }
+
+    /// Selector resistance multiplier at a given voltage magnitude.
+    ///
+    /// Equals 1.0 at (or above) the full write voltage and
+    /// `selector_nonlinearity` at the bias voltage, growing exponentially as
+    /// the bias drops further (clamped at `selector_nonlinearity²`).
+    pub fn selector_multiplier(&self, v_abs: f64) -> f64 {
+        let span = self.write_voltage - self.bias_voltage;
+        debug_assert!(span > 0.0, "write voltage must exceed bias voltage");
+        // Exponent 0 at full voltage, 1 at half voltage, clamped at 2 below.
+        let x = ((self.write_voltage - v_abs) / span).clamp(0.0, 2.0);
+        self.selector_nonlinearity.powf(x)
+    }
+
+    /// Cell count of the mat (`rows × cols`).
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let p = CrossbarParams::default();
+        assert_eq!(p.rows, 512);
+        assert_eq!(p.cols, 512);
+        assert_eq!(p.selected_cells, 8);
+        assert_eq!(p.r_lrs, 10e3);
+        assert_eq!(p.r_hrs, 2e6);
+        assert_eq!(p.r_input, 100.0);
+        assert_eq!(p.r_output, 100.0);
+        assert_eq!(p.r_wire, 2.5);
+        assert_eq!(p.selector_nonlinearity, 200.0);
+        assert_eq!(p.write_voltage, 3.0);
+        assert_eq!(p.bias_voltage, 1.5);
+    }
+
+    #[test]
+    fn selector_multiplier_boundaries() {
+        let p = CrossbarParams::default();
+        assert!((p.selector_multiplier(3.0) - 1.0).abs() < 1e-12);
+        assert!((p.selector_multiplier(1.5) - 200.0).abs() < 1e-9);
+        // Below half bias the multiplier keeps rising but stays clamped.
+        assert!(p.selector_multiplier(0.0) <= 200.0f64.powi(2) + 1.0);
+        assert!(p.selector_multiplier(0.4) > 200.0);
+    }
+
+    #[test]
+    fn selector_multiplier_is_monotone_decreasing_in_voltage() {
+        let p = CrossbarParams::default();
+        let mut prev = f64::INFINITY;
+        for i in 0..=30 {
+            let v = 3.0 * i as f64 / 30.0;
+            let m = p.selector_multiplier(v);
+            assert!(m <= prev + 1e-9, "multiplier must not grow with voltage");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn effective_resistance_scales_base() {
+        let p = CrossbarParams::default();
+        let r_full = p.effective_resistance(true, 3.0);
+        assert!((r_full - 10e3).abs() < 1e-6);
+        let r_half = p.effective_resistance(true, 1.5);
+        assert!((r_half - 2e6).abs() < 1e-3);
+        assert!(p.effective_resistance(false, 1.5) > p.effective_resistance(true, 1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_size_panics() {
+        let _ = CrossbarParams::with_size(0, 4);
+    }
+}

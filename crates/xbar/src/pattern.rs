@@ -1,0 +1,277 @@
+//! Cell-state patterns stored in a crossbar mat.
+//!
+//! A [`BitGrid`] holds one bit per cell (`true` = LRS = logical `1`,
+//! `false` = HRS = logical `0`). Pattern constructors produce the synthetic
+//! worst-case layouts used to generate conservative timing tables.
+
+/// Dense bit matrix describing the resistive state of every cell in a mat.
+///
+/// Bit `true` means the cell is in the low-resistance state (LRS, logical
+/// `1`); `false` means high-resistance state (HRS, logical `0`).
+///
+/// # Examples
+///
+/// ```
+/// use ladder_xbar::BitGrid;
+///
+/// let mut g = BitGrid::new(4, 4);
+/// g.set(1, 2, true);
+/// assert!(g.get(1, 2));
+/// assert_eq!(g.row_ones(1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitGrid {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitGrid {
+    /// Creates an all-HRS (all-zero) grid of `rows × cols` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be nonzero");
+        let words_per_row = cols.div_ceil(64);
+        Self {
+            rows,
+            cols,
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Number of wordlines (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bitlines (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads the state of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.check(row, col);
+        let w = self.bits[row * self.words_per_row + col / 64];
+        (w >> (col % 64)) & 1 == 1
+    }
+
+    /// Sets the state of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, lrs: bool) {
+        self.check(row, col);
+        let w = &mut self.bits[row * self.words_per_row + col / 64];
+        if lrs {
+            *w |= 1 << (col % 64);
+        } else {
+            *w &= !(1 << (col % 64));
+        }
+    }
+
+    /// Number of LRS cells along wordline `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_ones(&self, row: usize) -> usize {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        let base = row * self.words_per_row;
+        self.bits[base..base + self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of LRS cells along bitline `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of bounds.
+    pub fn col_ones(&self, col: usize) -> usize {
+        assert!(col < self.cols, "col {col} out of bounds ({})", self.cols);
+        (0..self.rows).filter(|&r| self.get(r, col)).count()
+    }
+
+    /// Total number of LRS cells in the grid.
+    pub fn ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn check(&self, row: usize, col: usize) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row}, {col}) out of bounds for {}x{} grid",
+            self.rows,
+            self.cols
+        );
+    }
+}
+
+/// Synthetic mat patterns used when generating conservative timing tables.
+///
+/// The worst-case constructors place LRS cells where they maximize the IR
+/// drop seen by a RESET target: half-selected LRS cells whose sneak current
+/// shares the longest wire path with the target draw down the target's
+/// voltage the most.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternSpec {
+    /// Every cell in HRS (no content-induced sneak current).
+    AllHrs,
+    /// Every cell in LRS (maximum sneak current everywhere).
+    AllLrs,
+    /// The selected wordline holds `wl_ones` LRS cells placed at the far end
+    /// of the wordline (worst case for the target), and every cell on the
+    /// selected bitlines is LRS (the worst-case bitline assumption LADDER
+    /// makes when only wordline counters are maintained).
+    WorstCaseWl {
+        /// LRS population of the selected wordline.
+        wl_ones: usize,
+    },
+    /// Every selected bitline holds `bl_ones` LRS cells placed at the far
+    /// end, and the selected wordline is entirely LRS (the worst-case
+    /// wordline assumption the BLP baseline makes).
+    WorstCaseBl {
+        /// LRS population of each selected bitline.
+        bl_ones: usize,
+    },
+}
+
+impl PatternSpec {
+    /// Materializes the pattern for a mat of the given dimensions with a
+    /// RESET targeting wordline `target_wl` and the bitlines in `target_bls`.
+    ///
+    /// Wordline index 0 is the row **nearest** the bitline drivers; column
+    /// index 0 is the cell **nearest** the wordline driver. "Far end" in the
+    /// variant docs means high indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target coordinates are out of bounds or if a requested
+    /// LRS population exceeds the line length.
+    pub fn materialize(
+        self,
+        rows: usize,
+        cols: usize,
+        target_wl: usize,
+        target_bls: &[usize],
+    ) -> BitGrid {
+        assert!(target_wl < rows, "target wordline out of bounds");
+        for &b in target_bls {
+            assert!(b < cols, "target bitline {b} out of bounds");
+        }
+        let mut g = BitGrid::new(rows, cols);
+        match self {
+            PatternSpec::AllHrs => {}
+            PatternSpec::AllLrs => {
+                for r in 0..rows {
+                    for c in 0..cols {
+                        g.set(r, c, true);
+                    }
+                }
+            }
+            PatternSpec::WorstCaseWl { wl_ones } => {
+                assert!(wl_ones <= cols, "wordline LRS count exceeds width");
+                // LRS cells at the far (high-index) end of the selected
+                // wordline: their sneak current traverses every wordline
+                // segment between the driver and any target column.
+                for c in (cols - wl_ones)..cols {
+                    g.set(target_wl, c, true);
+                }
+                for &b in target_bls {
+                    for r in 0..rows {
+                        g.set(r, b, true);
+                    }
+                }
+            }
+            PatternSpec::WorstCaseBl { bl_ones } => {
+                assert!(bl_ones <= rows, "bitline LRS count exceeds height");
+                for c in 0..cols {
+                    g.set(target_wl, c, true);
+                }
+                for &b in target_bls {
+                    for r in (rows - bl_ones)..rows {
+                        g.set(r, b, true);
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut g = BitGrid::new(10, 130);
+        assert!(!g.get(9, 129));
+        g.set(9, 129, true);
+        assert!(g.get(9, 129));
+        g.set(9, 129, false);
+        assert!(!g.get(9, 129));
+    }
+
+    #[test]
+    fn row_and_col_counts() {
+        let mut g = BitGrid::new(8, 8);
+        for c in 0..5 {
+            g.set(3, c, true);
+        }
+        for r in 0..4 {
+            g.set(r, 7, true);
+        }
+        // Row 3 holds columns 0..5 plus the (3, 7) cell from the column run.
+        assert_eq!(g.row_ones(3), 6);
+        assert_eq!(g.col_ones(7), 4);
+        assert_eq!(g.ones(), 9);
+        assert_eq!(g.row_ones(0), 1);
+    }
+
+    #[test]
+    fn worst_case_wl_places_far_end() {
+        let g = PatternSpec::WorstCaseWl { wl_ones: 3 }.materialize(8, 8, 2, &[1]);
+        // 3 far-end cells on wordline 2 plus the selected bitline overlap.
+        assert!(g.get(2, 7) && g.get(2, 6) && g.get(2, 5));
+        assert!(!g.get(2, 4));
+        // Selected bitline fully LRS.
+        for r in 0..8 {
+            assert!(g.get(r, 1));
+        }
+    }
+
+    #[test]
+    fn worst_case_bl_fills_selected_wordline() {
+        let g = PatternSpec::WorstCaseBl { bl_ones: 4 }.materialize(8, 8, 0, &[3]);
+        for c in 0..8 {
+            assert!(g.get(0, c));
+        }
+        assert!(g.get(7, 3) && g.get(4, 3));
+        assert!(!g.get(1, 3) || 1 >= 8 - 4);
+    }
+
+    #[test]
+    fn all_patterns_have_expected_population() {
+        assert_eq!(PatternSpec::AllHrs.materialize(4, 4, 0, &[0]).ones(), 0);
+        assert_eq!(PatternSpec::AllLrs.materialize(4, 4, 0, &[0]).ones(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_target_panics() {
+        let _ = PatternSpec::AllHrs.materialize(4, 4, 4, &[0]);
+    }
+}

@@ -1,0 +1,606 @@
+//! Write timing tables: the `⟨WL, BL, C_lrs⟩ → latency` lookup structure
+//! held by the memory controller.
+//!
+//! A full-resolution table for a 512×512 mat would need 512³ entries; the
+//! paper (Section 5) quantizes each dimension with granularity 64, giving an
+//! 8×8×8 table organized as 8 sub-tables of 8×8 that fit in a 512 B on-chip
+//! buffer. Every entry is generated at the *worst* operating point of its
+//! band, so quantization only ever rounds latency up (safe direction).
+//!
+//! Two content axes exist: [`ContentAxis::Wordline`] is LADDER's table
+//! (wordline content known, bitline content assumed worst-case) and
+//! [`ContentAxis::Bitline`] is the BLP baseline's table (the dual).
+
+use crate::analytic::{estimate_vd, OperatingPoint};
+use crate::latency::LatencyLaw;
+use crate::mna::{solve_reset, MnaError, ResetOp, SolverKind};
+use crate::params::CrossbarParams;
+use crate::pattern::PatternSpec;
+
+/// Which line's LRS population forms the content dimension of the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentAxis {
+    /// Content dimension = LRS count of the selected wordline (LADDER).
+    Wordline,
+    /// Content dimension = LRS count of the selected bitlines (BLP).
+    Bitline,
+}
+
+/// How table entries are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableSource {
+    /// Fast conservative analytic IR-drop estimate (default).
+    Analytic,
+    /// Full modified-nodal-analysis solve per entry (slow, exact).
+    Mna(SolverKind),
+}
+
+/// Configuration for [`TimingTable::generate`].
+#[derive(Debug, Clone)]
+pub struct TableConfig {
+    /// Crossbar electrical/geometric parameters.
+    pub params: CrossbarParams,
+    /// Bands per dimension (8 in the paper).
+    pub bands: usize,
+    /// Content dimension semantics.
+    pub content_axis: ContentAxis,
+    /// Entry computation back-end.
+    pub source: TableSource,
+    /// Device latency law shared by every scheme under comparison.
+    pub law: LatencyLaw,
+}
+
+impl TableConfig {
+    /// LADDER's default configuration: 8 bands, wordline content axis,
+    /// analytic source, and a law calibrated to the paper's 29–658 ns range.
+    pub fn ladder_default() -> Self {
+        let params = CrossbarParams::default();
+        let law = calibrate_device_law(&params, 29.0, 658.0);
+        Self {
+            params,
+            bands: 8,
+            content_axis: ContentAxis::Wordline,
+            source: TableSource::Analytic,
+            law,
+        }
+    }
+}
+
+/// Calibrates the device latency law so that the best-case RESET (near
+/// corner, all-HRS mat) takes `t_fast_ns` and the worst-case RESET (far
+/// corner, all-LRS mat) takes `t_slow_ns`.
+///
+/// Both anchor voltages are computed with the analytic estimator; the same
+/// law must be shared by every timing table used in one comparison so that
+/// all schemes model the same physical device.
+///
+/// # Panics
+///
+/// Panics if the parameters yield a degenerate voltage range.
+pub fn calibrate_device_law(params: &CrossbarParams, t_fast_ns: f64, t_slow_ns: f64) -> LatencyLaw {
+    let sel = params.selected_cells;
+    let near_bls: Vec<usize> = (0..sel).collect();
+    let far_bls: Vec<usize> = (params.cols - sel..params.cols).collect();
+    let v_fast = estimate_vd(
+        params,
+        &OperatingPoint {
+            target_wl: 0,
+            target_bls: near_bls,
+            wl_ones: 0,
+            bl_ones: 0,
+        },
+    )
+    .iter()
+    .map(|&(_, v)| v)
+    .fold(f64::INFINITY, f64::min);
+    let v_slow = estimate_vd(
+        params,
+        &OperatingPoint {
+            target_wl: params.rows - 1,
+            target_bls: far_bls,
+            wl_ones: params.cols,
+            bl_ones: params.rows,
+        },
+    )
+    .iter()
+    .map(|&(_, v)| v)
+    .fold(f64::INFINITY, f64::min);
+    LatencyLaw::calibrate(v_fast, t_fast_ns, v_slow, t_slow_ns)
+}
+
+/// Quantized write timing table.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_xbar::{TableConfig, TimingTable};
+///
+/// let table = TimingTable::generate(&TableConfig::ladder_default())?;
+/// // Near corner with clean content is fast; far corner with dense content
+/// // requires the full worst-case latency.
+/// assert!(table.lookup_ps(0, 7, 0) < table.lookup_ps(511, 511, 512));
+/// assert_eq!(table.lookup_ps(511, 511, 512), table.worst_ps());
+/// # Ok::<(), ladder_xbar::MnaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingTable {
+    bands: usize,
+    rows: usize,
+    cols: usize,
+    content_axis: ContentAxis,
+    law: LatencyLaw,
+    /// Entries indexed `[c_band][wl_band][bl_band]`, picoseconds.
+    entries: Vec<u32>,
+}
+
+impl TimingTable {
+    /// Generates the table per `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MnaError`] when the MNA source fails to converge; the
+    /// analytic source is infallible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.bands` is zero or exceeds the mat dimensions.
+    pub fn generate(cfg: &TableConfig) -> Result<Self, MnaError> {
+        let p = &cfg.params;
+        let bands = cfg.bands;
+        assert!(
+            bands > 0 && bands <= p.rows && bands <= p.cols,
+            "band count must be in 1..=min(rows, cols)"
+        );
+        let mut entries = vec![0u32; bands * bands * bands];
+        let points: Vec<(usize, usize, usize)> = (0..bands)
+            .flat_map(|c| (0..bands).flat_map(move |w| (0..bands).map(move |b| (c, w, b))))
+            .collect();
+        let vd_of = |&(c_band, wl_band, bl_band): &(usize, usize, usize)| -> Result<f64, MnaError> {
+            let target_wl = (wl_band + 1) * p.rows / bands - 1;
+            // The write's byte occupies `selected_cells` adjacent columns
+            // ending at the worst column of the bitline band.
+            let last_col = (bl_band + 1) * p.cols / bands - 1;
+            let first_col = (last_col + 1).saturating_sub(p.selected_cells);
+            let target_bls: Vec<usize> = (first_col..=last_col).collect();
+            let (wl_ones, bl_ones) = match cfg.content_axis {
+                ContentAxis::Wordline => ((c_band + 1) * p.cols / bands, p.rows),
+                ContentAxis::Bitline => (p.cols, (c_band + 1) * p.rows / bands),
+            };
+            match cfg.source {
+                TableSource::Analytic => {
+                    let op = OperatingPoint {
+                        target_wl,
+                        target_bls,
+                        wl_ones,
+                        bl_ones,
+                    };
+                    Ok(estimate_vd(p, &op)
+                        .iter()
+                        .map(|&(_, v)| v)
+                        .fold(f64::INFINITY, f64::min))
+                }
+                TableSource::Mna(kind) => {
+                    let spec = match cfg.content_axis {
+                        ContentAxis::Wordline => PatternSpec::WorstCaseWl { wl_ones },
+                        ContentAxis::Bitline => PatternSpec::WorstCaseBl { bl_ones },
+                    };
+                    let grid = spec.materialize(p.rows, p.cols, target_wl, &target_bls);
+                    let sol = solve_reset(p, &grid, &ResetOp::new(target_wl, target_bls), kind)?;
+                    Ok(sol.min_target_vd())
+                }
+            }
+        };
+        let vds: Result<Vec<f64>, MnaError> = match cfg.source {
+            TableSource::Analytic => points.iter().map(vd_of).collect(),
+            TableSource::Mna(_) => {
+                // MNA solves are independent and expensive: fan out.
+                let threads = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+                    .min(points.len());
+                let chunk = points.len().div_ceil(threads);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = points
+                        .chunks(chunk)
+                        .map(|pts| s.spawn(move || pts.iter().map(vd_of).collect::<Result<Vec<_>, _>>()))
+                        .collect();
+                    let mut all = Vec::with_capacity(points.len());
+                    for h in handles {
+                        all.extend(h.join().expect("table worker panicked")?);
+                    }
+                    Ok(all)
+                })
+            }
+        };
+        let vds = vds?;
+        for (slot, vd) in entries.iter_mut().zip(&vds) {
+            *slot = cfg.law.latency_ps(*vd) as u32;
+        }
+        Ok(Self {
+            bands,
+            rows: p.rows,
+            cols: p.cols,
+            content_axis: cfg.content_axis,
+            law: cfg.law,
+            entries,
+        })
+    }
+
+    /// Bands per dimension.
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Content axis of this table.
+    pub fn content_axis(&self) -> ContentAxis {
+        self.content_axis
+    }
+
+    /// Latency law the entries were derived from.
+    pub fn law(&self) -> LatencyLaw {
+        self.law
+    }
+
+    /// Looks up the RESET latency in picoseconds.
+    ///
+    /// `wl` is the wordline index (0 = nearest the bitline driver), `bl` is
+    /// the worst (highest) column the write touches, and `c_lrs` is the LRS
+    /// count along the content axis. `c_lrs` saturates at the line length;
+    /// this makes the "assume worst-case content" policy a plain
+    /// `lookup_ps(wl, bl, usize::MAX)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wl` or `bl` is out of bounds.
+    pub fn lookup_ps(&self, wl: usize, bl: usize, c_lrs: usize) -> u64 {
+        assert!(wl < self.rows, "wordline {wl} out of bounds");
+        assert!(bl < self.cols, "bitline {bl} out of bounds");
+        let content_len = match self.content_axis {
+            ContentAxis::Wordline => self.cols,
+            ContentAxis::Bitline => self.rows,
+        };
+        let c = c_lrs.min(content_len);
+        let c_band = if c == 0 {
+            0
+        } else {
+            ((c - 1) * self.bands / content_len).min(self.bands - 1)
+        };
+        let wl_band = wl * self.bands / self.rows;
+        let bl_band = bl * self.bands / self.cols;
+        self.entry(c_band, wl_band, bl_band) as u64
+    }
+
+    /// Raw entry access by band coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any band index is out of range.
+    pub fn entry(&self, c_band: usize, wl_band: usize, bl_band: usize) -> u32 {
+        assert!(
+            c_band < self.bands && wl_band < self.bands && bl_band < self.bands,
+            "band index out of range"
+        );
+        self.entries[(c_band * self.bands + wl_band) * self.bands + bl_band]
+    }
+
+    /// One 8×8 sub-table (fixed content band), row-major `[wl][bl]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c_band` is out of range.
+    pub fn sub_table(&self, c_band: usize) -> &[u32] {
+        assert!(c_band < self.bands, "content band out of range");
+        let stride = self.bands * self.bands;
+        &self.entries[c_band * stride..(c_band + 1) * stride]
+    }
+
+    /// Worst (largest) latency in the table — the fixed latency a
+    /// pessimistic baseline scheme must always use.
+    pub fn worst_ps(&self) -> u64 {
+        *self.entries.iter().max().expect("table nonempty") as u64
+    }
+
+    /// Best (smallest) latency in the table.
+    pub fn best_ps(&self) -> u64 {
+        *self.entries.iter().min().expect("table nonempty") as u64
+    }
+
+    /// Serializes to the on-chip ROM image: one byte per entry (512 B for
+    /// the default 8×8×8 table), quantized with ceiling rounding at scale
+    /// [`TimingTable::rom_scale_ps`].
+    pub fn to_rom_bytes(&self) -> Vec<u8> {
+        let scale = self.rom_scale_ps();
+        self.entries
+            .iter()
+            .map(|&e| (e as u64).div_ceil(scale).min(255) as u8)
+            .collect()
+    }
+
+    /// Picoseconds represented by one ROM quantization step.
+    pub fn rom_scale_ps(&self) -> u64 {
+        self.worst_ps().div_ceil(255).max(1)
+    }
+
+    /// Reconstructs a table from a ROM image produced by
+    /// [`TimingTable::to_rom_bytes`]. Latencies are recovered at ROM
+    /// precision (conservatively rounded up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image length is not `bands³` for the given geometry.
+    pub fn from_rom_bytes(
+        bytes: &[u8],
+        bands: usize,
+        rows: usize,
+        cols: usize,
+        content_axis: ContentAxis,
+        law: LatencyLaw,
+        scale_ps: u64,
+    ) -> Self {
+        assert_eq!(bytes.len(), bands * bands * bands, "ROM image size mismatch");
+        Self {
+            bands,
+            rows,
+            cols,
+            content_axis,
+            law,
+            entries: bytes.iter().map(|&b| (b as u64 * scale_ps) as u32).collect(),
+        }
+    }
+
+    /// Compresses the table's dynamic range by `factor`, keeping the best
+    /// latency fixed: `t' = t_best + (t − t_best)/factor`.
+    ///
+    /// Models devices with lower process variation (paper Section 7 studies
+    /// `factor = 2`): a tighter latency distribution means a *lower worst
+    /// case*, which also speeds up the fixed-latency baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1`.
+    pub fn shrink_dynamic_range(&self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "shrink factor must be >= 1");
+        let best = self.best_ps() as f64;
+        let mut out = self.clone();
+        for e in &mut out.entries {
+            let t = *e as f64;
+            *e = (best + (t - best) / factor).ceil() as u32;
+        }
+        out
+    }
+}
+
+/// Worst-case RESET latency (ps) when only `n_cells` cells are selected in
+/// one mat — the half-RESET latency used by the Split-reset baseline.
+///
+/// Fewer selected cells draw less aggregate current, so the IR drop is
+/// smaller and the worst-case latency materially shorter than the full
+/// 8-cell RESET.
+///
+/// # Panics
+///
+/// Panics if `n_cells` is zero or exceeds the mat width.
+pub fn worst_latency_for_selected(params: &CrossbarParams, law: LatencyLaw, n_cells: usize) -> u64 {
+    assert!(
+        n_cells > 0 && n_cells <= params.cols,
+        "selected cell count out of range"
+    );
+    let far_bls: Vec<usize> = (params.cols - n_cells..params.cols).collect();
+    let vd = estimate_vd(
+        params,
+        &OperatingPoint {
+            target_wl: params.rows - 1,
+            target_bls: far_bls,
+            wl_ones: params.cols,
+            bl_ones: params.rows,
+        },
+    )
+    .iter()
+    .map(|&(_, v)| v)
+    .fold(f64::INFINITY, f64::min);
+    law.latency_ps(vd)
+}
+
+/// RESET latency (ns) as a function of the selected wordline's LRS
+/// percentage, for a single cell location — the data behind Figure 4b.
+///
+/// Returns `(percent, latency_ns)` pairs at `steps + 1` evenly spaced
+/// percentages from 0 to 100.
+///
+/// # Panics
+///
+/// Panics if the location is out of bounds or `steps == 0`.
+pub fn latency_vs_wl_content(
+    params: &CrossbarParams,
+    law: LatencyLaw,
+    wl: usize,
+    col: usize,
+    steps: usize,
+) -> Vec<(f64, f64)> {
+    assert!(wl < params.rows && col < params.cols, "location out of bounds");
+    assert!(steps > 0, "steps must be nonzero");
+    (0..=steps)
+        .map(|s| {
+            let pct = 100.0 * s as f64 / steps as f64;
+            let ones = (pct / 100.0 * params.cols as f64).round() as usize;
+            let vd = estimate_vd(
+                params,
+                &OperatingPoint {
+                    target_wl: wl,
+                    target_bls: vec![col],
+                    wl_ones: ones.min(params.cols),
+                    bl_ones: params.rows,
+                },
+            )[0]
+            .1;
+            (pct, law.latency_ns(vd))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_table() -> TimingTable {
+        TimingTable::generate(&TableConfig::ladder_default()).expect("generate")
+    }
+
+    #[test]
+    fn default_table_spans_paper_range() {
+        let t = default_table();
+        // Worst entry equals the calibrated 658 ns (up to ps rounding).
+        assert!((t.worst_ps() as f64 - 658_000.0).abs() < 1000.0, "worst {}", t.worst_ps());
+        // Best entry is close to, and at least, the 29 ns anchor (band
+        // quantization keeps it above the absolute best case).
+        assert!(t.best_ps() >= 29_000);
+        assert!(t.best_ps() < 200_000, "best {}", t.best_ps());
+    }
+
+    #[test]
+    fn table_is_monotone_in_every_dimension() {
+        let t = default_table();
+        for c in 0..8 {
+            for w in 0..8 {
+                for b in 0..8 {
+                    if c + 1 < 8 {
+                        assert!(t.entry(c + 1, w, b) >= t.entry(c, w, b));
+                    }
+                    if w + 1 < 8 {
+                        assert!(t.entry(c, w + 1, b) >= t.entry(c, w, b));
+                    }
+                    if b + 1 < 8 {
+                        assert!(t.entry(c, w, b + 1) >= t.entry(c, w, b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_banding_is_conservative() {
+        let t = default_table();
+        // Any exact coordinate must get at least the latency of a finer one.
+        let fine = t.lookup_ps(64, 64, 64);
+        let coarse = t.lookup_ps(127, 127, 128);
+        assert!(coarse >= fine);
+        // Saturating content lookup equals the worst content band.
+        assert_eq!(t.lookup_ps(100, 100, usize::MAX), t.lookup_ps(100, 100, 512));
+    }
+
+    #[test]
+    fn rom_roundtrip_is_conservative_and_close() {
+        let t = default_table();
+        let rom = t.to_rom_bytes();
+        assert_eq!(rom.len(), 512);
+        let back = TimingTable::from_rom_bytes(
+            &rom,
+            8,
+            512,
+            512,
+            ContentAxis::Wordline,
+            t.law(),
+            t.rom_scale_ps(),
+        );
+        for c in 0..8 {
+            for w in 0..8 {
+                for b in 0..8 {
+                    let orig = t.entry(c, w, b) as u64;
+                    let q = back.entry(c, w, b) as u64;
+                    assert!(q >= orig, "ROM quantization must round up");
+                    assert!(q <= orig + t.rom_scale_ps(), "ROM error above one step");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blp_table_differs_from_ladder_table() {
+        let mut cfg = TableConfig::ladder_default();
+        let ladder = TimingTable::generate(&cfg).expect("ladder");
+        cfg.content_axis = ContentAxis::Bitline;
+        let blp = TimingTable::generate(&cfg).expect("blp");
+        assert_eq!(blp.content_axis(), ContentAxis::Bitline);
+        // Same device: worst corners coincide.
+        assert_eq!(ladder.worst_ps(), blp.worst_ps());
+        assert_ne!(ladder.sub_table(0), blp.sub_table(0));
+    }
+
+    #[test]
+    fn shrink_halves_range_keeps_best() {
+        let t = default_table();
+        let s = t.shrink_dynamic_range(2.0);
+        assert_eq!(s.best_ps(), t.best_ps());
+        assert!(s.worst_ps() < t.worst_ps());
+        let old_range = t.worst_ps() - t.best_ps();
+        let new_range = s.worst_ps() - s.best_ps();
+        assert!(new_range <= old_range / 2 + 2);
+        assert!(new_range >= old_range / 2 - old_range / 64);
+    }
+
+    #[test]
+    fn half_reset_is_faster_than_full_reset() {
+        let cfg = TableConfig::ladder_default();
+        let full = worst_latency_for_selected(&cfg.params, cfg.law, 8);
+        let half = worst_latency_for_selected(&cfg.params, cfg.law, 4);
+        assert!(half < full);
+        // Two sequential half-RESETs should still beat ~1.6 full RESETs
+        // for the scheme to pay off on compressible data.
+        assert!(half * 2 < full * 2);
+    }
+
+    #[test]
+    fn fig4b_curves_far_cell_slower_and_content_sensitive() {
+        let cfg = TableConfig::ladder_default();
+        let far = latency_vs_wl_content(&cfg.params, cfg.law, 480, 480, 10);
+        let near = latency_vs_wl_content(&cfg.params, cfg.law, 16, 16, 10);
+        assert_eq!(far.len(), 11);
+        // Far cell is slower at every content level.
+        for (f, n) in far.iter().zip(&near) {
+            assert!(f.1 >= n.1);
+        }
+        // Far cell latency grows significantly with content; near cell much
+        // less (this is the motivation for multi-granularity counters).
+        let far_growth = far.last().expect("nonempty").1 / far[0].1;
+        let near_growth = near.last().expect("nonempty").1 / near[0].1;
+        assert!(far_growth > near_growth);
+        assert!(far_growth > 1.5, "far growth {far_growth}");
+    }
+
+    #[test]
+    fn mna_source_agrees_with_analytic_on_small_mat() {
+        // Downscaled mat so the MNA path stays fast in tests. Use the
+        // physical 10×-per-0.4V law directly: calibrating to the 29–658 ns
+        // range on a tiny mat would blow up `k` and amplify the (small,
+        // conservative) analytic voltage error into huge latency ratios.
+        let params = CrossbarParams::with_size(32, 32);
+        let k = 10.0f64.ln() / 0.4;
+        let law = LatencyLaw {
+            c_ns: 29.0 * (k * 3.0).exp(),
+            k_per_volt: k,
+        };
+        let mk = |source| TableConfig {
+            params: params.clone(),
+            bands: 4,
+            content_axis: ContentAxis::Wordline,
+            source,
+            law,
+        };
+        let ana = TimingTable::generate(&mk(TableSource::Analytic)).expect("analytic");
+        let mna =
+            TimingTable::generate(&mk(TableSource::Mna(SolverKind::LineRelaxation))).expect("mna");
+        for c in 0..4 {
+            for w in 0..4 {
+                for b in 0..4 {
+                    let a = ana.entry(c, w, b) as f64;
+                    let m = mna.entry(c, w, b) as f64;
+                    assert!(
+                        a >= m * 0.85,
+                        "analytic entry ({c},{w},{b}) = {a} not conservative vs MNA {m}"
+                    );
+                    assert!(a <= m * 6.0, "analytic entry ({c},{w},{b}) = {a} too far above MNA {m}");
+                }
+            }
+        }
+    }
+}

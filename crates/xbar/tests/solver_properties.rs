@@ -1,0 +1,68 @@
+//! Property tests on the crossbar solvers: cross-solver agreement,
+//! Kirchhoff consistency and monotonicity over random operating points.
+
+use ladder_xbar::{
+    analytic, kirchhoff_residual, solve_reset, CrossbarParams, PatternSpec, ResetOp, SolverKind,
+};
+use proptest::prelude::*;
+
+fn arb_case() -> impl Strategy<Value = (usize, usize, usize, usize)> {
+    // (size, target_wl, target_bl, wl_ones) over solver-friendly mats.
+    (6usize..14).prop_flat_map(|n| {
+        (Just(n), 0..n, 0..n, 0..=n).prop_map(|(n, w, b, ones)| (n, w, b, ones))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_and_line_relaxation_agree((n, w, b, ones) in arb_case()) {
+        let params = CrossbarParams::with_size(n, n);
+        let grid = PatternSpec::WorstCaseWl { wl_ones: ones }.materialize(n, n, w, &[b]);
+        let op = ResetOp::new(w, vec![b]);
+        let dense = solve_reset(&params, &grid, &op, SolverKind::DenseLu)
+            .expect("dense solve")
+            .min_target_vd();
+        let relax = solve_reset(&params, &grid, &op, SolverKind::LineRelaxation)
+            .expect("relaxation solve")
+            .min_target_vd();
+        prop_assert!((dense - relax).abs() < 2e-3, "dense {dense} vs relax {relax}");
+    }
+
+    #[test]
+    fn solutions_satisfy_kirchhoff((n, w, b, ones) in arb_case()) {
+        let params = CrossbarParams::with_size(n, n);
+        let grid = PatternSpec::WorstCaseWl { wl_ones: ones }.materialize(n, n, w, &[b]);
+        let op = ResetOp::new(w, vec![b]);
+        let sol = solve_reset(&params, &grid, &op, SolverKind::DenseLu).expect("solve");
+        prop_assert!(kirchhoff_residual(&params, &grid, &op, &sol) < 1e-5);
+    }
+
+    #[test]
+    fn analytic_is_conservative_and_monotone((n, w, b, ones) in arb_case()) {
+        let params = CrossbarParams::with_size(n, n);
+        let grid = PatternSpec::WorstCaseWl { wl_ones: ones }.materialize(n, n, w, &[b]);
+        let op = ResetOp::new(w, vec![b]);
+        let exact = solve_reset(&params, &grid, &op, SolverKind::LineRelaxation)
+            .expect("solve")
+            .min_target_vd();
+        let point = |o: usize| {
+            analytic::estimate_vd(
+                &params,
+                &analytic::OperatingPoint {
+                    target_wl: w,
+                    target_bls: vec![b],
+                    wl_ones: o,
+                    bl_ones: n,
+                },
+            )[0]
+            .1
+        };
+        let approx = point(ones);
+        prop_assert!(approx <= exact + 0.03, "analytic {approx} vs exact {exact}");
+        if ones < n {
+            prop_assert!(point(ones + 1) <= approx + 1e-12, "more content cannot raise Vd");
+        }
+    }
+}

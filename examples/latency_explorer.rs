@@ -1,0 +1,64 @@
+//! Latency explorer: sweep the crossbar's location and content dimensions
+//! and dump the resulting RESET-latency surfaces — the data behind the
+//! paper's Figures 4b and 11, plus an exact-vs-analytic spot check on a
+//! downscaled mat using the full MNA solver.
+//!
+//! Run with: `cargo run --release --example latency_explorer`
+
+use ladder_xbar::{
+    calibrate_device_law, solve_reset, CrossbarParams, PatternSpec, ResetOp, SolverKind,
+    TableConfig, TimingTable,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = CrossbarParams::default();
+    let law = calibrate_device_law(&params, 29.0, 658.0);
+    println!(
+        "device law: t = {:.1} ns x exp(-{:.2}/V x Vd)\n",
+        law.c_ns, law.k_per_volt
+    );
+
+    // Location sweep at fixed (sparse) content.
+    let table = TimingTable::generate(&TableConfig::ladder_default())?;
+    println!("latency (ns) over location, sparse content (band 0):");
+    for w in [0usize, 255, 511] {
+        let row: Vec<String> = [7usize, 255, 511]
+            .iter()
+            .map(|&c| format!("{:>7.1}", table.lookup_ps(w, c, 0) as f64 / 1000.0))
+            .collect();
+        println!("  wordline {w:>3}: cols [7, 255, 511] -> {}", row.join(" "));
+    }
+
+    // Content sweep at the far corner.
+    println!("\nlatency (ns) over content at the far corner:");
+    for ones in [0usize, 64, 128, 256, 384, 512] {
+        println!(
+            "  C^w_lrs {ones:>3} -> {:>7.1}",
+            table.lookup_ps(511, 511, ones) as f64 / 1000.0
+        );
+    }
+
+    // Exact MNA cross-check on a small mat: the analytic estimate used for
+    // table generation must be conservative (never reports more voltage
+    // than the exact solve).
+    let small = CrossbarParams::with_size(48, 48);
+    println!("\nMNA vs analytic on a 48x48 mat (target at the far corner):");
+    for ones in [0usize, 24, 48] {
+        let grid = PatternSpec::WorstCaseWl { wl_ones: ones }.materialize(48, 48, 47, &[47]);
+        let op = ResetOp::new(47, vec![47]);
+        let exact = solve_reset(&small, &grid, &op, SolverKind::LineRelaxation)?.min_target_vd();
+        let approx = ladder_xbar::analytic::estimate_vd(
+            &small,
+            &ladder_xbar::analytic::OperatingPoint {
+                target_wl: 47,
+                target_bls: vec![47],
+                wl_ones: ones,
+                bl_ones: 48,
+            },
+        )[0]
+        .1;
+        println!("  wl_ones {ones:>2}: exact Vd = {exact:.3} V, analytic = {approx:.3} V");
+        assert!(approx <= exact + 0.02, "analytic estimate must stay conservative");
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Scheme shootout: run one Table 3 workload under every write scheme and
+//! print the full comparison — the quickest way to see the paper's
+//! headline result end-to-end.
+//!
+//! Run with: `cargo run --release --example scheme_shootout [workload]`
+//! where `workload` is a benchmark (`astar`, `mcf`, …) or a mix (`mix-1`).
+
+use ladder_sim::experiments::{run_one, ExperimentConfig, RunOptions, Workload};
+use ladder_sim::Scheme;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "astar".into());
+    let workload = Workload::all()
+        .into_iter()
+        .find(|w| w.label() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload {name:?}; pick one of:");
+            for w in Workload::all() {
+                eprintln!("  {}", w.label());
+            }
+            std::process::exit(2);
+        });
+    let cfg = ExperimentConfig {
+        instructions_per_core: 500_000,
+        ..Default::default()
+    };
+    let tables = cfg.tables();
+    println!("workload {} ({} instructions/core)\n", workload.label(), cfg.instructions_per_core);
+    println!(
+        "{:<16}{:>10}{:>14}{:>14}{:>12}{:>12}",
+        "scheme", "speedup", "read lat(ns)", "write svc(ns)", "extra rd", "extra wr"
+    );
+    let base = run_one(Scheme::Baseline, workload, &cfg, &tables, RunOptions::default());
+    let mut hybrid_summary = String::new();
+    for scheme in Scheme::MAIN_EVAL {
+        let r = run_one(scheme, workload, &cfg, &tables, RunOptions::default());
+        if scheme == Scheme::LadderHybrid {
+            hybrid_summary = r.summary();
+        }
+        let speedup: f64 = if workload.is_mix() {
+            // Sum of per-core IPC ratios against the same cores under the
+            // baseline (quick proxy; the full weighted-IPC metric lives in
+            // `main_eval`).
+            r.cores
+                .iter()
+                .zip(&base.cores)
+                .map(|(a, b)| a.ipc / b.ipc)
+                .sum::<f64>()
+                / r.cores.len() as f64
+        } else {
+            r.ipc0() / base.ipc0()
+        };
+        println!(
+            "{:<16}{:>10.3}{:>14.1}{:>14.1}{:>11.1}%{:>11.1}%",
+            scheme.name(),
+            speedup,
+            r.avg_read_latency().as_ns(),
+            r.avg_write_service().as_ns(),
+            r.mem.additional_read_fraction() * 100.0,
+            r.mem.additional_write_fraction() * 100.0
+        );
+    }
+    println!("
+LADDER-Hybrid in detail:
+{hybrid_summary}");
+}

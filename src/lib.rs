@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! LADDER — content- and location-aware writes for crossbar ReRAM.
+//!
+//! This facade crate re-exports the whole reproduction workspace:
+//!
+//! * [`xbar`] — crossbar circuit model and timing tables
+//! * [`reram`] — memory geometry, addressing, time base
+//! * [`core`] — the LADDER engine (counters, metadata, cache, FNW, shifting)
+//! * [`baselines`] — Split-reset, BLP, compression
+//! * [`memctrl`] — the cycle-level memory controller and write policies
+//! * [`cpu`] — the trace-driven core model
+//! * [`workloads`] — synthetic SPEC/PARSEC stand-ins
+//! * [`energy`] — dynamic energy model
+//! * [`wear`] — wear-leveling and lifetime
+//! * [`sim`] — the system simulator and paper experiments
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+//!
+//! # Examples
+//!
+//! ```
+//! use ladder::sim::{Scheme, SystemBuilder};
+//! use ladder::cpu::{MemEvent, TraceOp, VecTrace};
+//! use ladder::memctrl::standard_tables;
+//! use ladder::reram::LineAddr;
+//! use ladder::xbar::TableConfig;
+//!
+//! let (lt, bt) = standard_tables(&TableConfig::ladder_default());
+//! let trace = VecTrace::new(
+//!     "demo",
+//!     vec![MemEvent {
+//!         gap_instructions: 100,
+//!         op: TraceOp::Write { addr: LineAddr::new(40_000 * 64), data: Box::new([1; 64]) },
+//!     }],
+//! );
+//! let mut b = SystemBuilder::new(Scheme::LadderHybrid, lt, bt);
+//! b.core(Box::new(trace), 8);
+//! let result = b.run();
+//! assert_eq!(result.mem.data_writes, 1);
+//! ```
+
+pub use ladder_baselines as baselines;
+pub use ladder_core as core;
+pub use ladder_cpu as cpu;
+pub use ladder_energy as energy;
+pub use ladder_memctrl as memctrl;
+pub use ladder_reram as reram;
+pub use ladder_sim as sim;
+pub use ladder_wear as wear;
+pub use ladder_workloads as workloads;
+pub use ladder_xbar as xbar;

@@ -1,0 +1,158 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! invariants the paper's correctness argument rests on.
+
+use ladder::core::{
+    apply_fnw, estimate_cw_lrs, exact_cw_lrs, shift_line, undo_fnw, unshift_line, FnwPolicy,
+    LrsCounterGroup, PartialCounters,
+};
+use ladder::reram::{AddressMap, Decoded, Geometry, LineAddr};
+use ladder::xbar::{CrossbarParams, LatencyLaw, TableConfig, TimingTable};
+use proptest::prelude::*;
+
+fn arb_line() -> impl Strategy<Value = [u8; 64]> {
+    prop::collection::vec(any::<u8>(), 64).prop_map(|v| {
+        let mut a = [0u8; 64];
+        a.copy_from_slice(&v);
+        a
+    })
+}
+
+/// A line whose bit density is skewed low (like real memory contents).
+fn arb_sparse_line() -> impl Strategy<Value = [u8; 64]> {
+    prop::collection::vec(any::<u8>(), 64).prop_map(|v| {
+        let mut a = [0u8; 64];
+        for (i, x) in v.iter().enumerate() {
+            a[i] = x & (x >> 3) & 0x7F;
+        }
+        a
+    })
+}
+
+proptest! {
+    #[test]
+    fn shifting_is_a_bijection(line in arb_line(), slot in 0usize..64) {
+        let stored = shift_line(&line, slot);
+        prop_assert_eq!(unshift_line(&stored, slot), line);
+        // Popcount is preserved per chip group.
+        for g in 0..8 {
+            let ones = |l: &[u8]| l.iter().map(|b| b.count_ones()).sum::<u32>();
+            prop_assert_eq!(ones(&line[g * 8..(g + 1) * 8]), ones(&stored[g * 8..(g + 1) * 8]));
+        }
+    }
+
+    #[test]
+    fn fnw_roundtrips_and_respects_the_constraint(
+        new in arb_line(),
+        old in arb_line(),
+    ) {
+        let out = apply_fnw(&new, &old, FnwPolicy::Constrained);
+        prop_assert_eq!(undo_fnw(&out.stored, out.flip_mask), new);
+        // Per 8-byte word, the stored image never holds more ones than the
+        // original data — the invariant that keeps LRS counters truthful.
+        for w in 0..8 {
+            let ones = |l: &[u8]| l.iter().map(|b| b.count_ones()).sum::<u32>();
+            prop_assert!(
+                ones(&out.stored[w * 8..(w + 1) * 8]) <= ones(&new[w * 8..(w + 1) * 8])
+            );
+        }
+        // And flipping never increases the switched-cell count.
+        let plain = apply_fnw(&new, &old, FnwPolicy::Disabled);
+        prop_assert!(out.bits_changed <= plain.bits_changed);
+    }
+
+    #[test]
+    fn estimation_upper_bounds_exact_counts(
+        lines in prop::collection::vec(arb_sparse_line(), 1..64),
+    ) {
+        let exact = exact_cw_lrs(lines.iter());
+        let zero_lines = 64 - lines.len();
+        let est = estimate_cw_lrs(
+            lines.iter().map(PartialCounters::from_line),
+            zero_lines,
+        );
+        prop_assert!(est >= exact, "estimate {} below exact {}", est, exact);
+    }
+
+    #[test]
+    fn counter_pack_roundtrips(values in prop::collection::vec(0u16..=512, 64)) {
+        let mut g = LrsCounterGroup::new();
+        let zeros = [0u8; 64];
+        // Drive counters to arbitrary values through deltas.
+        for (i, &v) in values.iter().enumerate() {
+            let mut line = [0u8; 64];
+            // v ones in byte position i, spread across writes of 8 ones.
+            let full = (v / 8) as usize;
+            for _ in 0..full {
+                line[i] = 0xFF;
+                g.apply_delta(&zeros, &line);
+            }
+            line[i] = (0xFFu16 >> (8 - (v % 8))) as u8;
+            g.apply_delta(&zeros, &line);
+        }
+        let lines = g.to_metadata_lines();
+        prop_assert_eq!(LrsCounterGroup::from_metadata_lines(&lines), g);
+    }
+
+    #[test]
+    fn address_map_is_a_bijection(raw in 0u64..Geometry::default().lines()) {
+        let map = AddressMap::new(Geometry::default());
+        let a = LineAddr::new(raw);
+        let d = map.decode(a);
+        prop_assert_eq!(map.encode(&d), a);
+    }
+
+    #[test]
+    fn address_encode_rejects_nothing_valid(
+        channel in 0usize..2,
+        rank in 0usize..2,
+        bank in 0usize..8,
+        mat_group in 0usize..32,
+        wordline in 0usize..512,
+        block_slot in 0usize..64,
+    ) {
+        let map = AddressMap::new(Geometry::default());
+        let d = Decoded { channel, rank, bank, mat_group, wordline, block_slot };
+        let a = map.encode(&d);
+        prop_assert_eq!(map.decode(a), d);
+    }
+
+    #[test]
+    fn latency_law_is_monotone(
+        v1 in 0.0f64..3.0,
+        v2 in 0.0f64..3.0,
+    ) {
+        let law = LatencyLaw::calibrate(2.9, 29.0, 1.0, 658.0);
+        let (lo, hi) = if v1 < v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(law.latency_ns(hi) <= law.latency_ns(lo));
+    }
+}
+
+// Table monotonicity is deterministic but expensive to set up, so it runs
+// once over every band triple rather than via proptest.
+#[test]
+fn timing_table_is_monotone_and_conservative_under_banding() {
+    let table = TimingTable::generate(&TableConfig::ladder_default()).expect("table");
+    let p = CrossbarParams::default();
+    for c in 0..8 {
+        for w in 0..8 {
+            for b in 0..8 {
+                if c + 1 < 8 {
+                    assert!(table.entry(c + 1, w, b) >= table.entry(c, w, b));
+                }
+                if w + 1 < 8 {
+                    assert!(table.entry(c, w + 1, b) >= table.entry(c, w, b));
+                }
+                if b + 1 < 8 {
+                    assert!(table.entry(c, w, b + 1) >= table.entry(c, w, b));
+                }
+            }
+        }
+    }
+    // Within a band, the entry was generated at the band's worst point, so
+    // looking up any exact coordinate in the band is conservative.
+    let fine = table.lookup_ps(64, 64, 64);
+    let coarse = table.lookup_ps(127, 127, 128);
+    assert!(coarse >= fine);
+    assert!(table.worst_ps() as f64 / 1000.0 <= 658.01);
+    let _ = p;
+}
