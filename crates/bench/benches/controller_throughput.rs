@@ -9,7 +9,7 @@ use ladder_xbar::TableConfig;
 use std::hint::black_box;
 
 fn bench_controller(c: &mut Criterion) {
-    let (ladder_table, _) = standard_tables(&TableConfig::ladder_default());
+    let ladder_table = standard_tables(&TableConfig::ladder_default()).ladder;
     c.bench_function("controller_1k_mixed_ops_hybrid", |b| {
         b.iter(|| {
             let map = AddressMap::new(Geometry::default());

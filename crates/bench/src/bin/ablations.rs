@@ -3,37 +3,39 @@
 //! rows, timing-table granularity, drain watermarks, and vertical
 //! wear-leveling granularity.
 
-use ladder_bench::config_from_args;
+use ladder_bench::{config_from_args, report_runner, runner_from_args};
 use ladder_sim::ablations::*;
 use ladder_sim::experiments::Workload;
 
 fn main() {
     let cfg = config_from_args();
+    let runner = runner_from_args();
     let w = Workload::Single("astar");
     let wmix = Workload::Mix("mix-1");
 
     println!("== metadata cache size (LADDER-Est, astar) ==");
-    println!("{}", render(&cache_size_sweep(&cfg, w)));
+    println!("{}", render(&cache_size_sweep(&cfg, w, &runner)));
 
     println!("== intra-line bit shifting (LADDER-Est, astar) ==");
-    println!("{}", render(&shifting_ablation(&cfg, w)));
+    println!("{}", render(&shifting_ablation(&cfg, w, &runner)));
 
     println!("== FNW policy (LADDER-Est, astar) ==");
-    let (pts, cancelled) = fnw_ablation(&cfg, w);
+    let (pts, cancelled) = fnw_ablation(&cfg, w, &runner);
     println!("{}", render(&pts));
     if let Some(c) = cancelled {
         println!("flips cancelled by the counting constraint: {:.2}%\n", c * 100.0);
     }
 
     println!("== low-precision rows (LADDER-Hybrid, astar) ==");
-    println!("{}", render(&low_rows_sweep(&cfg, w)));
+    println!("{}", render(&low_rows_sweep(&cfg, w, &runner)));
 
     println!("== timing-table granularity (LADDER-Est, astar) ==");
-    println!("{}", render(&table_granularity_sweep(&cfg, w)));
+    println!("{}", render(&table_granularity_sweep(&cfg, w, &runner)));
 
     println!("== drain watermarks (LADDER-Est vs baseline, mix-1) ==");
-    println!("{}", render(&drain_watermark_sweep(&cfg, wmix)));
+    println!("{}", render(&drain_watermark_sweep(&cfg, wmix, &runner)));
 
     println!("== vertical wear-leveling granularity (LADDER-Est, astar) ==");
-    println!("{}", render(&vwl_comparison(&cfg, w)));
+    println!("{}", render(&vwl_comparison(&cfg, w, &runner)));
+    report_runner(&runner);
 }

@@ -1,11 +1,12 @@
 //! Evaluates the paper's Section 8 future-work idea: LADDER combined with
 //! adaptive remapping of write-hot pages to low-latency (bottom) rows.
 
-use ladder_bench::config_from_args;
+use ladder_bench::{config_from_args, report_runner, runner_from_args};
 use ladder_sim::experiments::{hot_remap_extension, Workload};
 
 fn main() {
     let cfg = config_from_args();
+    let runner = runner_from_args();
     println!("Extension — LADDER-Hybrid + hot-page remapping to bottom rows");
     println!(
         "{:<9}{:>16}{:>16}{:>14}{:>14}",
@@ -17,7 +18,7 @@ fn main() {
         Workload::Single("lbm"),
         Workload::Mix("mix-1"),
     ] {
-        let r = hot_remap_extension(&cfg, w);
+        let r = hot_remap_extension(&cfg, w, &runner);
         println!(
             "{:<9}{:>16.3}{:>16.3}{:>14.1}{:>14.1}",
             w.label(),
@@ -27,4 +28,5 @@ fn main() {
             r.twr_remap_ns
         );
     }
+    report_runner(&runner);
 }

@@ -1,14 +1,15 @@
 //! Regenerates Figure 2: normalized IPC of worst-case, location-aware and
 //! data/location-aware write schemes on the single-programmed benchmarks.
 
-use ladder_bench::config_from_args;
+use ladder_bench::{config_from_args, report_runner, runner_from_args};
 use ladder_sim::experiments::fig2;
 
 fn main() {
     let cfg = config_from_args();
+    let runner = runner_from_args();
     println!("Figure 2 — normalized IPC (worst-case = 1.0)");
     println!("{:<8}{:>16}{:>22}", "bench", "Location-aware", "Data/Location-aware");
-    let rows = fig2(&cfg);
+    let rows = fig2(&cfg, &runner);
     let (mut sl, mut sd) = (0.0, 0.0);
     for r in &rows {
         println!("{:<8}{:>16.3}{:>22.3}", r.bench, r.location_aware, r.data_location_aware);
@@ -17,4 +18,5 @@ fn main() {
     }
     let n = rows.len() as f64;
     println!("{:<8}{:>16.3}{:>22.3}", "AVG", sl / n, sd / n);
+    report_runner(&runner);
 }

@@ -2,17 +2,18 @@
 //! and performance of the LADDER schemes under segment-based vertical
 //! wear-leveling plus horizontal byte rotation.
 
-use ladder_bench::config_from_args;
+use ladder_bench::{config_from_args, report_runner, runner_from_args};
 use ladder_sim::experiments::{lifetime, Workload};
 
 fn main() {
     let cfg = config_from_args();
+    let runner = runner_from_args();
     println!("Section 6.4 — wear-leveling integration (workload: mix-1)");
     println!(
         "{:<16}{:>14}{:>12}{:>18}{:>20}",
         "scheme", "write traffic", "lifetime", "speedup w/ WL", "speedup w/o WL"
     );
-    for r in lifetime(&cfg, Workload::Mix("mix-1")) {
+    for r in lifetime(&cfg, Workload::Mix("mix-1"), &runner) {
         println!(
             "{:<16}{:>13.3}x{:>11.3}x{:>18.3}{:>20.3}",
             r.scheme.name(),
@@ -22,4 +23,5 @@ fn main() {
             r.speedup_without_wl
         );
     }
+    report_runner(&runner);
 }

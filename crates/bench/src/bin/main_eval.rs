@@ -4,8 +4,8 @@
 //!
 //! Pass `--csv DIR` to additionally write one CSV per figure into `DIR`.
 
-use ladder_bench::config_from_args;
-use ladder_sim::experiments::main_eval;
+use ladder_bench::{config_from_args, runner_from_args};
+use ladder_sim::experiments::MainEval;
 
 fn csv_dir() -> Option<std::path::PathBuf> {
     let args: Vec<String> = std::env::args().collect();
@@ -16,11 +16,14 @@ fn csv_dir() -> Option<std::path::PathBuf> {
 
 fn main() {
     let cfg = config_from_args();
+    let runner = runner_from_args();
     eprintln!(
-        "running 16 workloads x 7 schemes at {} instructions/core ...",
-        cfg.instructions_per_core
+        "running 16 workloads x 7 schemes at {} instructions/core on {} worker(s) ...",
+        cfg.instructions_per_core,
+        runner.jobs()
     );
-    let eval = main_eval(&cfg, None);
+    let eval = MainEval::builder(&cfg).run(&runner);
+    eprintln!("{}", eval.stats.summary());
     println!("Figure 12 — normalized write service time\n{}", eval.fig12_write_service().to_table());
     println!("Figure 13 — normalized read latency\n{}", eval.fig13_read_latency().to_table());
     println!("Figure 14a — additional reads (fraction of demand reads)\n{}", eval.fig14a_additional_reads().to_table());

@@ -1,13 +1,14 @@
 //! Regenerates the Section 7 process-variability study: LADDER-Hybrid's
 //! speedup when the device's latency dynamic range shrinks 2×.
 
-use ladder_bench::config_from_args;
+use ladder_bench::{config_from_args, report_runner, runner_from_args};
 use ladder_sim::experiments::{variability, Workload};
 
 fn main() {
     let cfg = config_from_args();
+    let runner = runner_from_args();
     for w in [Workload::Single("astar"), Workload::Single("mcf"), Workload::Mix("mix-1")] {
-        let v = variability(&cfg, w);
+        let v = variability(&cfg, w, &runner);
         println!(
             "{:<8} speedup full-range {:.3}, shrunk-2x {:.3} -> retains {:.0}% of the gain",
             w.label(),
@@ -16,4 +17,5 @@ fn main() {
             v.retention * 100.0
         );
     }
+    report_runner(&runner);
 }

@@ -16,14 +16,17 @@
 //!
 //! Criterion micro-benchmarks for the hot kernels live under `benches/`.
 
+use ladder_sim::experiments::ExperimentConfig;
+use ladder_sim::Runner;
+
 /// Parses `--instructions N` and `--seed S` from the command line into an
 /// experiment configuration (defaults: 1 M instructions, seed 2021).
 ///
 /// # Panics
 ///
 /// Panics on malformed arguments.
-pub fn config_from_args() -> ladder_sim::experiments::ExperimentConfig {
-    let mut cfg = ladder_sim::experiments::ExperimentConfig::default();
+pub fn config_from_args() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::default();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i + 1 < args.len() {
@@ -40,4 +43,33 @@ pub fn config_from_args() -> ladder_sim::experiments::ExperimentConfig {
         }
     }
     cfg
+}
+
+/// Builds the experiment [`Runner`] from the command line: `--jobs N`
+/// wins, then the `LADDER_JOBS` environment variable, then
+/// `available_parallelism()`. Parallel execution is byte-identical to
+/// `--jobs 1` — results always come back in submission order.
+///
+/// # Panics
+///
+/// Panics on a malformed `--jobs` value.
+pub fn runner_from_args() -> Runner {
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        if args[i] == "--jobs" {
+            return Runner::with_jobs(args[i + 1].parse().expect("worker count"));
+        }
+        i += 1;
+    }
+    Runner::new()
+}
+
+/// Prints the runner's cumulative batch statistics to stderr (so figure
+/// data on stdout stays clean).
+pub fn report_runner(runner: &Runner) {
+    let stats = runner.cumulative();
+    if stats.jobs > 0 {
+        eprintln!("{}", stats.summary());
+    }
 }

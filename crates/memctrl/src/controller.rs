@@ -917,7 +917,7 @@ mod tests {
 
     fn ladder_mc(variant: LadderVariant) -> MemoryController {
         let map = AddressMap::new(Geometry::default());
-        let (ladder_table, _) = standard_tables(&TableConfig::ladder_default());
+        let ladder_table = standard_tables(&TableConfig::ladder_default()).ladder;
         let policy = LadderPolicy::for_variant(variant, ladder_table, map.clone());
         MemoryController::new(MemCtrlConfig::default(), map, Box::new(policy))
     }
@@ -1106,7 +1106,7 @@ mod stress_tests {
     /// conflict sets fill up with pinned (shared) lines.
     fn tiny_cache_mc() -> MemoryController {
         let map = AddressMap::new(Geometry::default());
-        let (ladder_table, _) = standard_tables(&TableConfig::ladder_default());
+        let ladder_table = standard_tables(&TableConfig::ladder_default()).ladder;
         let mut cfg = LadderConfig::for_variant(LadderVariant::Est);
         cfg.cache = MetadataCacheConfig {
             capacity_bytes: 4 * 64, // 4 lines, 4 ways → ONE set

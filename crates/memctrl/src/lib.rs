@@ -38,5 +38,5 @@ pub use controller::{AccessObserver, MemCtrlConfig, MemStats, MemoryController, 
 pub use histogram::LatencyHistogram;
 pub use policy::{
     standard_tables, BlpPolicy, CwTrace, FixedWorstPolicy, LadderPolicy, LocationAwarePolicy,
-    OraclePolicy, PrepResult, ServiceResult, SplitResetPolicy, WritePolicy,
+    OraclePolicy, PrepResult, ServiceResult, SplitResetPolicy, Tables, WritePolicy,
 };

@@ -432,18 +432,41 @@ impl WritePolicy for LadderPolicy {
     }
 }
 
+/// The two timing tables every scheme comparison shares: the wordline
+/// content axis (LADDER and the location-aware baselines) and the bitline
+/// content axis (BLP).
+#[derive(Debug, Clone)]
+pub struct Tables {
+    /// Wordline-content-axis table (LADDER, location-aware, oracle,
+    /// baseline worst case).
+    pub ladder: TimingTable,
+    /// Bitline-content-axis table (BLP).
+    pub blp: TimingTable,
+}
+
+impl Tables {
+    /// Both tables with their latency dynamic range shrunk by `factor`
+    /// (the Section 7 process-variability study).
+    pub fn shrink_dynamic_range(&self, factor: f64) -> Tables {
+        Tables {
+            ladder: self.ladder.shrink_dynamic_range(factor),
+            blp: self.blp.shrink_dynamic_range(factor),
+        }
+    }
+}
+
 /// Builds the standard timing tables shared by every scheme in one
-/// comparison: `(ladder_wordline_table, blp_bitline_table)`.
+/// comparison.
 ///
 /// # Panics
 ///
 /// Panics if table generation fails (the analytic source is infallible).
-pub fn standard_tables(cfg: &TableConfig) -> (TimingTable, TimingTable) {
+pub fn standard_tables(cfg: &TableConfig) -> Tables {
     let ladder = TimingTable::generate(cfg).expect("wordline table");
     let mut blp_cfg = cfg.clone();
     blp_cfg.content_axis = ContentAxis::Bitline;
     let blp = TimingTable::generate(&blp_cfg).expect("bitline table");
-    (ladder, blp)
+    Tables { ladder, blp }
 }
 
 #[cfg(test)]
@@ -453,8 +476,8 @@ mod tests {
     use ladder_xbar::TableConfig;
 
     fn setup() -> (TimingTable, TimingTable, AddressMap) {
-        let (ladder, blp) = standard_tables(&TableConfig::ladder_default());
-        (ladder, blp, AddressMap::new(Geometry::default()))
+        let t = standard_tables(&TableConfig::ladder_default());
+        (t.ladder, t.blp, AddressMap::new(Geometry::default()))
     }
 
     fn sparse_line() -> LineData {

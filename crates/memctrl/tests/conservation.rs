@@ -4,17 +4,17 @@
 
 use ladder_core::LadderVariant;
 use ladder_memctrl::{
-    standard_tables, FixedWorstPolicy, LadderPolicy, MemCtrlConfig, MemoryController,
+    standard_tables, FixedWorstPolicy, LadderPolicy, MemCtrlConfig, MemoryController, Tables,
     SplitResetPolicy, WritePolicy,
 };
 use ladder_baselines::SplitReset;
 use ladder_reram::{AddressMap, Geometry, Instant, LineAddr};
-use ladder_xbar::{TableConfig, TimingTable};
+use ladder_xbar::TableConfig;
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
-fn tables() -> &'static (TimingTable, TimingTable) {
-    static TABLES: OnceLock<(TimingTable, TimingTable)> = OnceLock::new();
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
     TABLES.get_or_init(|| standard_tables(&TableConfig::ladder_default()))
 }
 
@@ -34,7 +34,7 @@ fn arb_req() -> impl Strategy<Value = Req> {
 }
 
 fn policy_for(kind: u8) -> Box<dyn WritePolicy> {
-    let (lt, _) = tables();
+    let lt = &tables().ladder;
     let map = AddressMap::new(Geometry::default());
     match kind % 3 {
         0 => Box::new(FixedWorstPolicy::new(lt)),

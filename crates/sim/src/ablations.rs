@@ -5,15 +5,19 @@
 //! low-precision row count (Section 4.2), the 8×8×8 timing-table
 //! quantization (Section 5: "< 3 % impact"), and line- vs segment-based
 //! vertical wear-leveling (Section 6.4).
+//!
+//! Every sweep point is an independent simulation, so each study fans its
+//! runs out on the caller's [`Runner`].
 
 use crate::experiments::{run_one, ExperimentConfig, RunOptions, Workload};
+use crate::runner::Runner;
 use crate::scheme::Scheme;
 use crate::system::{RunResult, SystemBuilder};
 use ladder_core::{FnwPolicy, LadderConfig, LadderVariant, MetadataCacheConfig};
-use ladder_memctrl::MemCtrlConfig;
+use ladder_memctrl::{MemCtrlConfig, Tables};
 use ladder_reram::Geometry;
 use ladder_wear::StartGap;
-use ladder_xbar::{TableConfig, TimingTable};
+use ladder_xbar::TableConfig;
 
 /// One measured ablation point.
 #[derive(Debug, Clone)]
@@ -43,11 +47,11 @@ fn point(label: impl Into<String>, r: &RunResult, base: &RunResult) -> AblationP
 fn run_with_ladder_cfg(
     cfg: &ExperimentConfig,
     workload: Workload,
-    tables: &(TimingTable, TimingTable),
+    tables: &Tables,
     lcfg: LadderConfig,
     scheme: Scheme,
 ) -> RunResult {
-    let mut b = SystemBuilder::new(scheme, tables.0.clone(), tables.1.clone());
+    let mut b = SystemBuilder::with_tables(scheme, tables);
     for (core, bench) in workload.members().into_iter().enumerate() {
         let (trace, mlp) = crate::experiments::trace_for_pub(bench, core, cfg);
         b.core(trace, mlp);
@@ -56,37 +60,68 @@ fn run_with_ladder_cfg(
     b.run()
 }
 
-/// Metadata-cache capacity sweep (LADDER-Est).
-pub fn cache_size_sweep(cfg: &ExperimentConfig, workload: Workload) -> Vec<AblationPoint> {
+/// Runs the shared pessimistic baseline plus one LADDER run per sweep
+/// value, all in one parallel batch; job 0 is the baseline.
+fn sweep_with_base<V: Copy + Sync>(
+    cfg: &ExperimentConfig,
+    workload: Workload,
+    runner: &Runner,
+    values: &[V],
+    run_value: impl Fn(&Tables, V) -> RunResult + Sync,
+) -> (RunResult, Vec<RunResult>) {
     let tables = cfg.tables();
-    let base = run_one(Scheme::Baseline, workload, cfg, &tables, RunOptions::default());
-    [16usize, 32, 64, 128, 256]
-        .into_iter()
-        .map(|kb| {
-            let mut lcfg = LadderConfig::for_variant(LadderVariant::Est);
-            lcfg.cache = MetadataCacheConfig {
-                capacity_bytes: kb * 1024,
-                ..MetadataCacheConfig::default()
-            };
-            let r = run_with_ladder_cfg(cfg, workload, &tables, lcfg, Scheme::LadderEst);
-            point(format!("{kb} KB cache"), &r, &base)
-        })
+    let (mut results, _) = runner.run_jobs(values.len() + 1, |i| {
+        if i == 0 {
+            run_one(Scheme::Baseline, workload, cfg, &tables, RunOptions::default())
+        } else {
+            run_value(&tables, values[i - 1])
+        }
+    });
+    let rest = results.split_off(1);
+    (results.pop().expect("baseline run"), rest)
+}
+
+/// Metadata-cache capacity sweep (LADDER-Est).
+pub fn cache_size_sweep(
+    cfg: &ExperimentConfig,
+    workload: Workload,
+    runner: &Runner,
+) -> Vec<AblationPoint> {
+    let sizes = [16usize, 32, 64, 128, 256];
+    let (base, runs) = sweep_with_base(cfg, workload, runner, &sizes, |tables, kb| {
+        let mut lcfg = LadderConfig::for_variant(LadderVariant::Est);
+        lcfg.cache = MetadataCacheConfig {
+            capacity_bytes: kb * 1024,
+            ..MetadataCacheConfig::default()
+        };
+        run_with_ladder_cfg(cfg, workload, tables, lcfg, Scheme::LadderEst)
+    });
+    sizes
+        .iter()
+        .zip(&runs)
+        .map(|(kb, r)| point(format!("{kb} KB cache"), r, &base))
         .collect()
 }
 
 /// Intra-line bit shifting on/off (LADDER-Est).
-pub fn shifting_ablation(cfg: &ExperimentConfig, workload: Workload) -> Vec<AblationPoint> {
-    let tables = cfg.tables();
-    let base = run_one(Scheme::Baseline, workload, cfg, &tables, RunOptions::default());
-    [false, true]
-        .into_iter()
-        .map(|shifting| {
-            let mut lcfg = LadderConfig::for_variant(LadderVariant::Est);
-            lcfg.shifting = shifting;
-            let r = run_with_ladder_cfg(cfg, workload, &tables, lcfg, Scheme::LadderEst);
+pub fn shifting_ablation(
+    cfg: &ExperimentConfig,
+    workload: Workload,
+    runner: &Runner,
+) -> Vec<AblationPoint> {
+    let modes = [false, true];
+    let (base, runs) = sweep_with_base(cfg, workload, runner, &modes, |tables, shifting| {
+        let mut lcfg = LadderConfig::for_variant(LadderVariant::Est);
+        lcfg.shifting = shifting;
+        run_with_ladder_cfg(cfg, workload, tables, lcfg, Scheme::LadderEst)
+    });
+    modes
+        .iter()
+        .zip(&runs)
+        .map(|(&shifting, r)| {
             point(
                 if shifting { "shifting on" } else { "shifting off" },
-                &r,
+                r,
                 &base,
             )
         })
@@ -98,16 +133,19 @@ pub fn shifting_ablation(cfg: &ExperimentConfig, workload: Workload) -> Vec<Abla
 pub fn fnw_ablation(
     cfg: &ExperimentConfig,
     workload: Workload,
+    runner: &Runner,
 ) -> (Vec<AblationPoint>, Option<f64>) {
-    let tables = cfg.tables();
-    let base = run_one(Scheme::Baseline, workload, cfg, &tables, RunOptions::default());
+    let policies = [FnwPolicy::Disabled, FnwPolicy::Constrained];
+    let (base, runs) = sweep_with_base(cfg, workload, runner, &policies, |tables, fnw| {
+        let mut lcfg = LadderConfig::for_variant(LadderVariant::Est);
+        lcfg.fnw = fnw;
+        run_with_ladder_cfg(cfg, workload, tables, lcfg, Scheme::LadderEst)
+    });
     let mut cancelled_fraction = None;
-    let points = [FnwPolicy::Disabled, FnwPolicy::Constrained]
-        .into_iter()
-        .map(|fnw| {
-            let mut lcfg = LadderConfig::for_variant(LadderVariant::Est);
-            lcfg.fnw = fnw;
-            let r = run_with_ladder_cfg(cfg, workload, &tables, lcfg, Scheme::LadderEst);
+    let points = policies
+        .iter()
+        .zip(&runs)
+        .map(|(&fnw, r)| {
             if fnw == FnwPolicy::Constrained {
                 if let Some((cancelled, opportunities)) = r.fnw {
                     if opportunities > 0 {
@@ -115,8 +153,11 @@ pub fn fnw_ablation(
                     }
                 }
             }
-            let mut p = point(format!("{fnw:?}"), &r, &base);
-            p.label = format!("FNW {fnw:?} (bits switched: {})", r.mem.bits_set + r.mem.bits_reset);
+            let mut p = point(format!("{fnw:?}"), r, &base);
+            p.label = format!(
+                "FNW {fnw:?} (bits switched: {})",
+                r.mem.bits_set + r.mem.bits_reset
+            );
             p
         })
         .collect();
@@ -124,103 +165,137 @@ pub fn fnw_ablation(
 }
 
 /// Low-precision row-count sweep (LADDER-Hybrid).
-pub fn low_rows_sweep(cfg: &ExperimentConfig, workload: Workload) -> Vec<AblationPoint> {
-    let tables = cfg.tables();
-    let base = run_one(Scheme::Baseline, workload, cfg, &tables, RunOptions::default());
-    [0usize, 64, 128, 256]
-        .into_iter()
-        .map(|rows| {
-            let mut lcfg = LadderConfig::for_variant(LadderVariant::Hybrid);
-            lcfg.low_precision_rows = rows;
-            let r = run_with_ladder_cfg(cfg, workload, &tables, lcfg, Scheme::LadderHybrid);
-            point(format!("{rows} low-precision rows"), &r, &base)
-        })
+pub fn low_rows_sweep(
+    cfg: &ExperimentConfig,
+    workload: Workload,
+    runner: &Runner,
+) -> Vec<AblationPoint> {
+    let row_counts = [0usize, 64, 128, 256];
+    let (base, runs) = sweep_with_base(cfg, workload, runner, &row_counts, |tables, rows| {
+        let mut lcfg = LadderConfig::for_variant(LadderVariant::Hybrid);
+        lcfg.low_precision_rows = rows;
+        run_with_ladder_cfg(cfg, workload, tables, lcfg, Scheme::LadderHybrid)
+    });
+    row_counts
+        .iter()
+        .zip(&runs)
+        .map(|(rows, r)| point(format!("{rows} low-precision rows"), r, &base))
         .collect()
 }
 
 /// Timing-table quantization sweep: 4, 8 and 16 bands per dimension.
-pub fn table_granularity_sweep(cfg: &ExperimentConfig, workload: Workload) -> Vec<AblationPoint> {
-    [4usize, 8, 16]
-        .into_iter()
-        .map(|bands| {
-            let mut tc = TableConfig::ladder_default();
-            tc.bands = bands;
-            let mut c = cfg.clone();
-            c.table_cfg = tc;
-            let tables = c.tables();
-            let base = run_one(Scheme::Baseline, workload, &c, &tables, RunOptions::default());
-            let r = run_one(Scheme::LadderEst, workload, &c, &tables, RunOptions::default());
-            let mut p = point(format!("{bands}x{bands}x{bands} table"), &r, &base);
-            p.label = format!(
-                "{bands}x{bands}x{bands} table ({} B ROM)",
-                tables.0.to_rom_bytes().len()
-            );
+///
+/// Each band count regenerates its own tables, so a sweep point is a
+/// `(baseline, LADDER-Est)` pair sharing those tables; the pairs run in
+/// parallel.
+pub fn table_granularity_sweep(
+    cfg: &ExperimentConfig,
+    workload: Workload,
+    runner: &Runner,
+) -> Vec<AblationPoint> {
+    let band_counts = [4usize, 8, 16];
+    let (results, _) = runner.run_jobs(band_counts.len(), |i| {
+        let bands = band_counts[i];
+        let mut tc = TableConfig::ladder_default();
+        tc.bands = bands;
+        let mut c = cfg.clone();
+        c.table_cfg = tc;
+        let tables = c.tables();
+        let base = run_one(Scheme::Baseline, workload, &c, &tables, RunOptions::default());
+        let r = run_one(Scheme::LadderEst, workload, &c, &tables, RunOptions::default());
+        let rom_bytes = tables.ladder.to_rom_bytes().len();
+        (base, r, rom_bytes)
+    });
+    band_counts
+        .iter()
+        .zip(&results)
+        .map(|(bands, (base, r, rom_bytes))| {
+            let mut p = point(format!("{bands}x{bands}x{bands} table"), r, base);
+            p.label = format!("{bands}x{bands}x{bands} table ({rom_bytes} B ROM)");
             p
         })
         .collect()
 }
 
 /// Write-drain watermark sweep (baseline vs LADDER-Est sensitivity).
-pub fn drain_watermark_sweep(cfg: &ExperimentConfig, workload: Workload) -> Vec<AblationPoint> {
+pub fn drain_watermark_sweep(
+    cfg: &ExperimentConfig,
+    workload: Workload,
+    runner: &Runner,
+) -> Vec<AblationPoint> {
     let tables = cfg.tables();
-    [(40usize, 16usize), (55, 32), (60, 48)]
-        .into_iter()
-        .map(|(high, low)| {
-            let mem_cfg = MemCtrlConfig {
-                drain_high: high,
-                drain_low: low,
-                ..MemCtrlConfig::default()
-            };
-            let run = |scheme| {
-                let mut b = SystemBuilder::new(scheme, tables.0.clone(), tables.1.clone());
-                for (core, bench) in workload.members().into_iter().enumerate() {
-                    let (trace, mlp) = crate::experiments::trace_for_pub(bench, core, cfg);
-                    b.core(trace, mlp);
-                }
-                b.mem_config(mem_cfg);
-                b.run()
-            };
-            let base = run(Scheme::Baseline);
-            let est = run(Scheme::LadderEst);
-            point(format!("drain at {high}/{low}"), &est, &base)
-        })
+    let watermarks = [(40usize, 16usize), (55, 32), (60, 48)];
+    let schemes = [Scheme::Baseline, Scheme::LadderEst];
+    // One job per (watermark, scheme) cell, watermark-major.
+    let (results, _) = runner.run_jobs(watermarks.len() * schemes.len(), |i| {
+        let (high, low) = watermarks[i / schemes.len()];
+        let scheme = schemes[i % schemes.len()];
+        let mut b = SystemBuilder::with_tables(scheme, &tables);
+        for (core, bench) in workload.members().into_iter().enumerate() {
+            let (trace, mlp) = crate::experiments::trace_for_pub(bench, core, cfg);
+            b.core(trace, mlp);
+        }
+        b.mem_config(MemCtrlConfig {
+            drain_high: high,
+            drain_low: low,
+            ..MemCtrlConfig::default()
+        });
+        b.run()
+    });
+    watermarks
+        .iter()
+        .zip(results.chunks_exact(schemes.len()))
+        .map(|(&(high, low), pair)| point(format!("drain at {high}/{low}"), &pair[1], &pair[0]))
         .collect()
 }
 
 /// Line-based (start-gap) vs segment-based vertical wear-leveling under
 /// LADDER-Est: line-granularity remapping scatters a page's lines across
 /// wordline groups and deteriorates metadata locality (paper Section 6.4).
-pub fn vwl_comparison(cfg: &ExperimentConfig, workload: Workload) -> Vec<AblationPoint> {
+pub fn vwl_comparison(
+    cfg: &ExperimentConfig,
+    workload: Workload,
+    runner: &Runner,
+) -> Vec<AblationPoint> {
     let tables = cfg.tables();
-    let base = run_one(Scheme::Baseline, workload, cfg, &tables, RunOptions::default());
-    let mut out = Vec::new();
-    // No wear-leveling.
-    let plain = run_one(Scheme::LadderEst, workload, cfg, &tables, RunOptions::default());
-    out.push(point("no wear-leveling", &plain, &base));
-    // Segment-based VWL (the LADDER-friendly kind).
-    let seg = run_one(
-        Scheme::LadderEst,
-        workload,
-        cfg,
-        &tables,
-        RunOptions {
-            wear_leveling: true,
-            ..RunOptions::default()
-        },
-    );
-    out.push(point("segment VWL + HWL", &seg, &base));
-    // Line-based start-gap over the data region.
-    let total_lines = Geometry::default().lines();
-    let base_line = (Geometry::default().pages() as u64 / 16) * 64;
-    let mut b = SystemBuilder::new(Scheme::LadderEst, tables.0.clone(), tables.1.clone());
-    for (core, bench) in workload.members().into_iter().enumerate() {
-        let (trace, mlp) = crate::experiments::trace_for_pub(bench, core, cfg);
-        b.core(trace, mlp);
-    }
-    b.leveler(Box::new(StartGap::new(base_line, total_lines - base_line - 1, 100)));
-    let sg = b.run();
-    out.push(point("line-based start-gap VWL", &sg, &base));
-    out
+    let (results, _) = runner.run_jobs(4, |i| match i {
+        0 => run_one(Scheme::Baseline, workload, cfg, &tables, RunOptions::default()),
+        // No wear-leveling.
+        1 => run_one(Scheme::LadderEst, workload, cfg, &tables, RunOptions::default()),
+        // Segment-based VWL (the LADDER-friendly kind).
+        2 => run_one(
+            Scheme::LadderEst,
+            workload,
+            cfg,
+            &tables,
+            RunOptions {
+                wear_leveling: true,
+                ..RunOptions::default()
+            },
+        ),
+        // Line-based start-gap over the data region.
+        _ => {
+            let total_lines = Geometry::default().lines();
+            let base_line = (Geometry::default().pages() as u64 / 16) * 64;
+            let mut b = SystemBuilder::with_tables(Scheme::LadderEst, &tables);
+            for (core, bench) in workload.members().into_iter().enumerate() {
+                let (trace, mlp) = crate::experiments::trace_for_pub(bench, core, cfg);
+                b.core(trace, mlp);
+            }
+            b.leveler(Box::new(StartGap::new(
+                base_line,
+                total_lines - base_line - 1,
+                100,
+            )));
+            b.run()
+        }
+    });
+    let base = &results[0];
+    vec![
+        point("no wear-leveling", &results[1], base),
+        point("segment VWL + HWL", &results[2], base),
+        point("line-based start-gap VWL", &results[3], base),
+    ]
 }
 
 /// Renders ablation points as an aligned table.
@@ -256,9 +331,13 @@ mod tests {
         }
     }
 
+    fn runner() -> Runner {
+        Runner::with_jobs(2)
+    }
+
     #[test]
     fn cache_sweep_hit_ratio_grows_with_capacity() {
-        let pts = cache_size_sweep(&tiny(), Workload::Single("cannl"));
+        let pts = cache_size_sweep(&tiny(), Workload::Single("cannl"), &runner());
         assert_eq!(pts.len(), 5);
         let first = pts.first().expect("points").cache_hit.expect("ladder");
         let last = pts.last().expect("points").cache_hit.expect("ladder");
@@ -267,7 +346,7 @@ mod tests {
 
     #[test]
     fn shifting_does_not_break_the_system() {
-        let pts = shifting_ablation(&tiny(), Workload::Single("astar"));
+        let pts = shifting_ablation(&tiny(), Workload::Single("astar"), &runner());
         assert_eq!(pts.len(), 2);
         for p in &pts {
             assert!(p.speedup > 1.0, "{}: LADDER must beat baseline", p.label);
@@ -276,7 +355,7 @@ mod tests {
 
     #[test]
     fn fnw_constraint_cancels_only_a_small_fraction() {
-        let (pts, cancelled) = fnw_ablation(&tiny(), Workload::Single("lbm"));
+        let (pts, cancelled) = fnw_ablation(&tiny(), Workload::Single("lbm"), &runner());
         assert_eq!(pts.len(), 2);
         if let Some(frac) = cancelled {
             // Paper Section 6.1: < 4 % of flips cancelled.
@@ -286,7 +365,7 @@ mod tests {
 
     #[test]
     fn table_granularity_has_modest_impact() {
-        let pts = table_granularity_sweep(&tiny(), Workload::Single("fsim"));
+        let pts = table_granularity_sweep(&tiny(), Workload::Single("fsim"), &runner());
         assert_eq!(pts.len(), 3);
         let speedups: Vec<f64> = pts.iter().map(|p| p.speedup).collect();
         let max = speedups.iter().cloned().fold(f64::MIN, f64::max);

@@ -5,15 +5,16 @@
 //! `ladder-bench` binaries call these functions and print the same rows and
 //! series the paper reports.
 
+use crate::runner::{AloneIpcCache, RunSpec, Runner, RunnerStats};
 use crate::scheme::Scheme;
 use crate::system::{RunResult, SystemBuilder};
 use ladder_cpu::TraceSource;
-use ladder_memctrl::standard_tables;
+use ladder_memctrl::{standard_tables, Tables};
 use ladder_reram::{Geometry, Instant};
 use ladder_wear::{SegmentVwl, WearLeveler};
 use ladder_workloads::{profile_of, WorkloadGen, MIXES, SINGLE_BENCHMARKS};
-use ladder_xbar::{TableConfig, TimingTable};
-use std::collections::HashMap;
+use ladder_xbar::TableConfig;
+use std::sync::Arc;
 
 /// Global experiment parameters.
 #[derive(Debug, Clone)]
@@ -47,8 +48,8 @@ impl ExperimentConfig {
         }
     }
 
-    /// Generates the shared `(ladder, blp)` timing tables.
-    pub fn tables(&self) -> (TimingTable, TimingTable) {
+    /// Generates the shared [`Tables`] timing-table bundle.
+    pub fn tables(&self) -> Tables {
         standard_tables(&self.table_cfg)
     }
 }
@@ -152,10 +153,10 @@ pub fn run_one(
     scheme: Scheme,
     workload: Workload,
     cfg: &ExperimentConfig,
-    tables: &(TimingTable, TimingTable),
+    tables: &Tables,
     opts: RunOptions,
 ) -> RunResult {
-    let mut b = SystemBuilder::new(scheme, tables.0.clone(), tables.1.clone());
+    let mut b = SystemBuilder::with_tables(scheme, tables);
     for (core, bench) in workload.members().into_iter().enumerate() {
         let (trace, mlp) = trace_for(bench, core, cfg);
         b.core(trace, mlp);
@@ -196,20 +197,25 @@ pub struct Fig2Row {
 }
 
 /// Reproduces Fig. 2 over the eight single-programmed benchmarks.
-pub fn fig2(cfg: &ExperimentConfig) -> Vec<Fig2Row> {
-    let tables = cfg.tables();
+pub fn fig2(cfg: &ExperimentConfig, runner: &Runner) -> Vec<Fig2Row> {
+    const SCHEMES: [Scheme; 3] = [Scheme::Baseline, Scheme::LocationAware, Scheme::Oracle];
+    let tables = Arc::new(cfg.tables());
+    let specs: Vec<RunSpec> = SINGLE_BENCHMARKS
+        .iter()
+        .flat_map(|&bench| {
+            SCHEMES
+                .iter()
+                .map(move |&s| RunSpec::new(s, Workload::Single(bench)))
+        })
+        .collect();
+    let (results, _) = runner.run_specs(cfg, &tables, &specs);
     SINGLE_BENCHMARKS
         .iter()
-        .map(|&bench| {
-            let w = Workload::Single(bench);
-            let base = run_one(Scheme::Baseline, w, cfg, &tables, RunOptions::default());
-            let loc = run_one(Scheme::LocationAware, w, cfg, &tables, RunOptions::default());
-            let oracle = run_one(Scheme::Oracle, w, cfg, &tables, RunOptions::default());
-            Fig2Row {
-                bench,
-                location_aware: loc.ipc0() / base.ipc0(),
-                data_location_aware: oracle.ipc0() / base.ipc0(),
-            }
+        .zip(results.chunks_exact(SCHEMES.len()))
+        .map(|(&bench, runs)| Fig2Row {
+            bench,
+            location_aware: runs[1].ipc0() / runs[0].ipc0(),
+            data_location_aware: runs[2].ipc0() / runs[0].ipc0(),
         })
         .collect()
 }
@@ -263,65 +269,182 @@ impl WorkloadEval {
 pub struct MainEval {
     /// Per-workload evaluations, in the paper's order.
     pub workloads: Vec<WorkloadEval>,
+    /// Timing observability for the batch that produced this matrix.
+    pub stats: RunnerStats,
+}
+
+/// Configures and launches the main evaluation (the data behind
+/// Figs. 12, 13, 14, 16, 17). Obtained from [`MainEval::builder`].
+///
+/// ```no_run
+/// use ladder_sim::experiments::{ExperimentConfig, MainEval};
+/// use ladder_sim::{Runner, Scheme};
+///
+/// let cfg = ExperimentConfig::quick();
+/// let eval = MainEval::builder(&cfg)
+///     .schemes(&[Scheme::Baseline, Scheme::LadderHybrid])
+///     .run(&Runner::new());
+/// println!("{}", eval.fig16_speedup().to_table());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MainEvalBuilder<'a> {
+    cfg: &'a ExperimentConfig,
+    schemes: Vec<Scheme>,
+    workloads: Vec<Workload>,
+}
+
+impl<'a> MainEvalBuilder<'a> {
+    /// Restricts the evaluation to `schemes` (default: all of
+    /// [`Scheme::MAIN_EVAL`]). Must include [`Scheme::Baseline`], the
+    /// normalization target.
+    pub fn schemes(mut self, schemes: &[Scheme]) -> Self {
+        self.schemes = schemes.to_vec();
+        self
+    }
+
+    /// Restricts the evaluation to `workloads` (default: all 16 of
+    /// [`Workload::all`]).
+    pub fn workloads(mut self, workloads: &[Workload]) -> Self {
+        self.workloads = workloads.to_vec();
+        self
+    }
+
+    /// Executes the whole matrix on `runner` as one parallel batch.
+    ///
+    /// Alone-run baseline IPCs for mix metrics are memoized in an
+    /// [`AloneIpcCache`]: the matrix's own `Baseline × Single` cells are
+    /// harvested, and only mix members outside the evaluated singles are
+    /// simulated additionally (appended to the same batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme list does not contain [`Scheme::Baseline`].
+    pub fn run(self, runner: &Runner) -> MainEval {
+        let MainEvalBuilder {
+            cfg,
+            schemes,
+            workloads,
+        } = self;
+        assert!(
+            schemes.contains(&Scheme::Baseline),
+            "main evaluation requires Scheme::Baseline (normalization target)"
+        );
+        let ns = schemes.len();
+        let tables = Arc::new(cfg.tables());
+
+        // The matrix itself, row-major (workload-major, scheme-minor).
+        let mut specs: Vec<RunSpec> = Vec::with_capacity(workloads.len() * ns + 2);
+        for &w in &workloads {
+            for &s in &schemes {
+                specs.push(RunSpec::new(s, w));
+            }
+        }
+        // Alone-run baselines the matrix does not already produce: mix
+        // members that are not evaluated as singles.
+        let singles: Vec<&'static str> = workloads
+            .iter()
+            .filter_map(|w| match w {
+                Workload::Single(b) => Some(*b),
+                Workload::Mix(_) => None,
+            })
+            .collect();
+        let mut extra: Vec<&'static str> = Vec::new();
+        for w in &workloads {
+            if w.is_mix() {
+                for b in w.members() {
+                    if !singles.contains(&b) && !extra.contains(&b) {
+                        extra.push(b);
+                    }
+                }
+            }
+        }
+        specs.extend(
+            extra
+                .iter()
+                .map(|&b| RunSpec::new(Scheme::Baseline, Workload::Single(b))),
+        );
+
+        let (mut results, stats) = runner.run_specs(cfg, &tables, &specs);
+
+        // Populate the alone-run cache: extras from the batch tail, singles
+        // from the matrix's baseline column.
+        let mut alone = AloneIpcCache::new();
+        let extra_results = results.split_off(workloads.len() * ns);
+        for (&b, r) in extra.iter().zip(&extra_results) {
+            alone.insert(b, r.ipc0());
+        }
+        let base_idx = schemes
+            .iter()
+            .position(|&s| s == Scheme::Baseline)
+            .expect("checked above");
+        let mut per_workload: Vec<(Workload, Vec<RunResult>)> = Vec::with_capacity(workloads.len());
+        let mut it = results.into_iter();
+        for &w in &workloads {
+            let runs: Vec<RunResult> = it.by_ref().take(ns).collect();
+            if let Workload::Single(b) = w {
+                alone.insert(b, runs[base_idx].ipc0());
+            }
+            per_workload.push((w, runs));
+        }
+
+        // Weighted IPC (mixes) or plain IPC (singles) per scheme.
+        let metric = |w: Workload, r: &RunResult| -> f64 {
+            if w.is_mix() {
+                r.cores
+                    .iter()
+                    .zip(w.members())
+                    .map(|(c, bench)| c.ipc / alone.ipc(bench))
+                    .sum()
+            } else {
+                r.ipc0()
+            }
+        };
+        let evals = per_workload
+            .into_iter()
+            .map(|(w, runs)| {
+                let base_metric = metric(w, &runs[base_idx]);
+                let speedups = runs.iter().map(|r| metric(w, r) / base_metric).collect();
+                WorkloadEval {
+                    workload: w,
+                    runs,
+                    speedups,
+                }
+            })
+            .collect();
+        MainEval {
+            workloads: evals,
+            stats,
+        }
+    }
 }
 
 /// Runs the main evaluation (the data behind Figs. 12, 13, 14, 16, 17).
 ///
 /// `schemes` defaults to [`Scheme::MAIN_EVAL`] when `None`; the baseline is
 /// always required (normalization target).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `MainEval::builder(cfg).schemes(&[...]).run(&runner)` instead"
+)]
 pub fn main_eval(cfg: &ExperimentConfig, schemes: Option<&[Scheme]>) -> MainEval {
-    let tables = cfg.tables();
-    let schemes = schemes.unwrap_or(&Scheme::MAIN_EVAL);
-    // Alone-run IPC per benchmark (baseline scheme) for weighted IPC.
-    let mut alone: HashMap<&'static str, f64> = HashMap::new();
-    let mut workloads = Vec::new();
-    for w in Workload::all() {
-        let runs: Vec<RunResult> = schemes
-            .iter()
-            .map(|&s| run_one(s, w, cfg, &tables, RunOptions::default()))
-            .collect();
-        if w.is_mix() {
-            for bench in w.members() {
-                alone.entry(bench).or_insert_with(|| {
-                    run_one(
-                        Scheme::Baseline,
-                        Workload::Single(bench),
-                        cfg,
-                        &tables,
-                        RunOptions::default(),
-                    )
-                    .ipc0()
-                });
-            }
-        }
-        // Weighted IPC (mixes) or plain IPC (singles) per scheme.
-        let metric = |r: &RunResult| -> f64 {
-            if w.is_mix() {
-                r.cores
-                    .iter()
-                    .zip(w.members())
-                    .map(|(c, bench)| c.ipc / alone[bench])
-                    .sum()
-            } else {
-                r.ipc0()
-            }
-        };
-        let base_metric = metric(
-            runs.iter()
-                .find(|r| r.scheme == Scheme::Baseline)
-                .expect("baseline always evaluated"),
-        );
-        let speedups = runs.iter().map(|r| metric(r) / base_metric).collect();
-        workloads.push(WorkloadEval {
-            workload: w,
-            runs,
-            speedups,
-        });
+    let mut b = MainEval::builder(cfg);
+    if let Some(s) = schemes {
+        b = b.schemes(s);
     }
-    MainEval { workloads }
+    b.run(&Runner::new())
 }
 
 impl MainEval {
+    /// Starts building a main-evaluation matrix over `cfg`; by default all
+    /// 16 workloads × the seven [`Scheme::MAIN_EVAL`] schemes.
+    pub fn builder(cfg: &ExperimentConfig) -> MainEvalBuilder<'_> {
+        MainEvalBuilder {
+            cfg,
+            schemes: Scheme::MAIN_EVAL.to_vec(),
+            workloads: Workload::all(),
+        }
+    }
+
     /// Fig. 12: average write service time normalized to baseline.
     pub fn fig12_write_service(&self) -> FigureSeries {
         self.normalized_series("write service time", |r| r.avg_write_service().as_ns())
@@ -556,55 +679,61 @@ pub struct Fig15Row {
 /// benchmark's write stream over a densely-revisited working-set window,
 /// so wordline groups accumulate their full 64 lines before most samples
 /// are taken.
-pub fn fig15(cfg: &ExperimentConfig) -> Vec<Fig15Row> {
+pub fn fig15(cfg: &ExperimentConfig, runner: &Runner) -> Vec<Fig15Row> {
+    let tables = cfg.tables();
+    let all = Workload::all();
+    // Each (workload, shifting) cell is an independent controller feed;
+    // fan the 32 of them out as one batch.
+    let (diffs, _) = runner.run_jobs(all.len() * 2, |i| {
+        fig15_cell(cfg, &tables, all[i / 2], i % 2 == 1)
+    });
+    all.iter()
+        .zip(diffs.chunks_exact(2))
+        .map(|(w, d)| Fig15Row {
+            workload: w.label().to_string(),
+            diff_without_shift: d[0],
+            diff_with_shift: d[1],
+        })
+        .collect()
+}
+
+/// One Fig. 15 cell: mean `C^w_lrs` difference for `workload` with
+/// shifting on or off. Counter values depend only on the write stream, so
+/// the cell feeds writes straight into a controller without simulating
+/// core timing.
+fn fig15_cell(cfg: &ExperimentConfig, tables: &Tables, w: Workload, shifting: bool) -> f64 {
     use ladder_core::{LadderConfig, LadderVariant};
     use ladder_memctrl::{LadderPolicy, MemCtrlConfig, MemoryController};
     use ladder_reram::AddressMap;
 
-    let tables = cfg.tables();
     // Dense revisiting: a compact page window and an event budget that
     // rewrites each page tens of times.
     let window_pages = 768u64;
     let events_per_member = (cfg.instructions_per_core / 2).clamp(50_000, 400_000);
-    let mut rows = Vec::new();
-    for w in Workload::all() {
-        let mut diffs = [0.0f64; 2];
-        for (i, shifting) in [false, true].into_iter().enumerate() {
-            // Counter values depend only on the write stream, so the
-            // experiment feeds writes straight into a controller without
-            // simulating core timing.
-            let map = AddressMap::new(Geometry::default());
-            let mut lcfg = LadderConfig::for_variant(LadderVariant::Est);
-            lcfg.shifting = shifting;
-            lcfg.track_exact = true;
-            let policy = Box::new(LadderPolicy::new(lcfg, tables.0.clone(), map.clone()));
-            let mut mc = MemoryController::new(MemCtrlConfig::default(), map, policy);
-            let mut now = Instant::ZERO;
-            for (core, bench) in w.members().into_iter().enumerate() {
-                let (base, _) = core_window(core);
-                let seed = cfg.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(core as u64 + 1);
-                let mut trace =
-                    WorkloadGen::new(profile_of(bench), seed, base, window_pages, events_per_member);
-                while let Some(ev) = trace.next_event() {
-                    if let ladder_cpu::TraceOp::Write { addr, data } = ev.op {
-                        while !mc.enqueue_write(addr, *data, now) {
-                            now = mc.next_event(now).expect("controller progress");
-                            mc.process(now);
-                        }
-                        mc.process(now);
-                    }
+    let map = AddressMap::new(Geometry::default());
+    let mut lcfg = LadderConfig::for_variant(LadderVariant::Est);
+    lcfg.shifting = shifting;
+    lcfg.track_exact = true;
+    let policy = Box::new(LadderPolicy::new(lcfg, tables.ladder.clone(), map.clone()));
+    let mut mc = MemoryController::new(MemCtrlConfig::default(), map, policy);
+    let mut now = Instant::ZERO;
+    for (core, bench) in w.members().into_iter().enumerate() {
+        let (base, _) = core_window(core);
+        let seed = cfg.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(core as u64 + 1);
+        let mut trace =
+            WorkloadGen::new(profile_of(bench), seed, base, window_pages, events_per_member);
+        while let Some(ev) = trace.next_event() {
+            if let ladder_cpu::TraceOp::Write { addr, data } = ev.op {
+                while !mc.enqueue_write(addr, *data, now) {
+                    now = mc.next_event(now).expect("controller progress");
+                    mc.process(now);
                 }
+                mc.process(now);
             }
-            mc.finish(now);
-            diffs[i] = mc.policy().cw_trace().map(|t| t.mean_diff()).unwrap_or(0.0);
         }
-        rows.push(Fig15Row {
-            workload: w.label().to_string(),
-            diff_without_shift: diffs[0],
-            diff_with_shift: diffs[1],
-        });
     }
-    rows
+    mc.finish(now);
+    mc.policy().cw_trace().map(|t| t.mean_diff()).unwrap_or(0.0)
 }
 
 // ---------------------------------------------------------------------------
@@ -629,34 +758,27 @@ pub struct LifetimeRow {
 }
 
 /// Reproduces the Section 6.4 analysis on one workload.
-pub fn lifetime(cfg: &ExperimentConfig, workload: Workload) -> Vec<LifetimeRow> {
-    let tables = cfg.tables();
+pub fn lifetime(cfg: &ExperimentConfig, workload: Workload, runner: &Runner) -> Vec<LifetimeRow> {
+    let tables = Arc::new(cfg.tables());
     let schemes = [
         Scheme::Baseline,
         Scheme::LadderBasic,
         Scheme::LadderEst,
         Scheme::LadderHybrid,
     ];
-    let with_wl: Vec<RunResult> = schemes
+    let wl_opts = RunOptions {
+        track_wear: true,
+        wear_leveling: true,
+        ..RunOptions::default()
+    };
+    let mut specs: Vec<RunSpec> = schemes
         .iter()
-        .map(|&s| {
-            run_one(
-                s,
-                workload,
-                cfg,
-                &tables,
-                RunOptions {
-                    track_wear: true,
-                    wear_leveling: true,
-                    ..RunOptions::default()
-                },
-            )
-        })
+        .map(|&s| RunSpec::with_options(s, workload, wl_opts))
         .collect();
-    let without_wl: Vec<RunResult> = schemes
-        .iter()
-        .map(|&s| run_one(s, workload, cfg, &tables, RunOptions::default()))
-        .collect();
+    specs.extend(schemes.iter().map(|&s| RunSpec::new(s, workload)));
+    let (mut results, _) = runner.run_specs(cfg, &tables, &specs);
+    let without_wl = results.split_off(schemes.len());
+    let with_wl = results;
     let base_writes = total_writes(&with_wl[0]);
     schemes
         .iter()
@@ -695,25 +817,21 @@ pub struct VariabilityResult {
 }
 
 /// Reproduces the Section 7 experiment on one workload.
-pub fn variability(cfg: &ExperimentConfig, workload: Workload) -> VariabilityResult {
+pub fn variability(
+    cfg: &ExperimentConfig,
+    workload: Workload,
+    runner: &Runner,
+) -> VariabilityResult {
     let tables = cfg.tables();
-    let shrunk = (
-        tables.0.shrink_dynamic_range(2.0),
-        tables.1.shrink_dynamic_range(2.0),
-    );
-    let speedup = |tables: &(TimingTable, TimingTable)| {
-        let base = run_one(Scheme::Baseline, workload, cfg, tables, RunOptions::default());
-        let hyb = run_one(
-            Scheme::LadderHybrid,
-            workload,
-            cfg,
-            tables,
-            RunOptions::default(),
-        );
-        hyb.ipc0() / base.ipc0()
-    };
-    let full = speedup(&tables);
-    let small = speedup(&shrunk);
+    let shrunk = tables.shrink_dynamic_range(2.0);
+    let sets = [&tables, &shrunk];
+    let schemes = [Scheme::Baseline, Scheme::LadderHybrid];
+    // Four independent runs: (full, shrunk) × (baseline, hybrid).
+    let (runs, _) = runner.run_jobs(4, |i| {
+        run_one(schemes[i % 2], workload, cfg, sets[i / 2], RunOptions::default())
+    });
+    let full = runs[1].ipc0() / runs[0].ipc0();
+    let small = runs[3].ipc0() / runs[2].ipc0();
     VariabilityResult {
         speedup_full: full,
         speedup_shrunk: small,
@@ -777,7 +895,7 @@ mod tests {
     fn fig2_normalizes_to_baseline() {
         let mut cfg = tiny_cfg();
         cfg.instructions_per_core = 25_000;
-        let rows = fig2(&cfg);
+        let rows = fig2(&cfg, &Runner::with_jobs(2));
         assert_eq!(rows.len(), 8);
         for r in &rows {
             assert!(r.location_aware >= 0.9, "{}: {}", r.bench, r.location_aware);
@@ -787,6 +905,33 @@ mod tests {
                 r.bench
             );
         }
+    }
+
+    #[test]
+    fn main_eval_builder_restricts_schemes_and_workloads() {
+        let mut cfg = tiny_cfg();
+        cfg.instructions_per_core = 25_000;
+        let eval = MainEval::builder(&cfg)
+            .schemes(&[Scheme::Baseline, Scheme::LadderHybrid])
+            .workloads(&[Workload::Single("astar"), Workload::Mix("mix-1")])
+            .run(&Runner::with_jobs(2));
+        assert_eq!(eval.workloads.len(), 2);
+        assert_eq!(eval.workloads[0].runs.len(), 2);
+        // Matrix (2×2) plus alone-run baselines for mix-1's members that
+        // are not evaluated as singles.
+        assert!(eval.stats.jobs > 4, "stats cover the whole batch");
+        let base = eval.workloads[0].speedup(Scheme::Baseline);
+        assert!((base - 1.0).abs() < 1e-12, "baseline normalizes to 1.0");
+        assert!(eval.workloads[1].speedup(Scheme::LadderHybrid) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires Scheme::Baseline")]
+    fn main_eval_builder_requires_baseline() {
+        let cfg = tiny_cfg();
+        MainEval::builder(&cfg)
+            .schemes(&[Scheme::LadderHybrid])
+            .run(&Runner::sequential());
     }
 
     #[test]
@@ -830,7 +975,7 @@ pub fn crash_recovery(cfg: &ExperimentConfig, bench: &'static str) -> CrashRecov
     let map = AddressMap::new(Geometry::default());
     let policy = Box::new(LadderPolicy::new(
         LadderConfig::for_variant(LadderVariant::Est),
-        tables.0.clone(),
+        tables.ladder.clone(),
         map.clone(),
     ));
     let mut mc = MemoryController::new(MemCtrlConfig::default(), map, policy);
@@ -899,12 +1044,14 @@ pub struct HotRemapResult {
 /// Evaluates the paper's future-work idea of combining LADDER with
 /// adaptive remapping of write-hot pages into bottom (fast) rows
 /// (Leader/Aliens style, the paper's references 62 and 51).
-pub fn hot_remap_extension(cfg: &ExperimentConfig, workload: Workload) -> HotRemapResult {
+pub fn hot_remap_extension(
+    cfg: &ExperimentConfig,
+    workload: Workload,
+    runner: &Runner,
+) -> HotRemapResult {
     use ladder_wear::HotPageRemapper;
 
     let tables = cfg.tables();
-    let base = run_one(Scheme::Baseline, workload, cfg, &tables, RunOptions::default());
-    let plain = run_one(Scheme::LadderHybrid, workload, cfg, &tables, RunOptions::default());
     // Frames: data pages in the lowest 32 wordlines, outside the cores'
     // windows so no workload data is displaced.
     let geometry = Geometry::default();
@@ -914,13 +1061,20 @@ pub fn hot_remap_extension(cfg: &ExperimentConfig, workload: Workload) -> HotRem
         .filter(|&p| (p / wl_div) % (geometry.mat_rows as u64) < 32 && p < window_base)
         .take(4096)
         .collect();
-    let mut b = SystemBuilder::new(Scheme::LadderHybrid, tables.0.clone(), tables.1.clone());
-    for (core, bench) in workload.members().into_iter().enumerate() {
-        let (trace, mlp) = trace_for(bench, core, cfg);
-        b.core(trace, mlp);
-    }
-    b.leveler(Box::new(HotPageRemapper::new(frames, 400)));
-    let remapped = b.run();
+    let (runs, _) = runner.run_jobs(3, |i| match i {
+        0 => run_one(Scheme::Baseline, workload, cfg, &tables, RunOptions::default()),
+        1 => run_one(Scheme::LadderHybrid, workload, cfg, &tables, RunOptions::default()),
+        _ => {
+            let mut b = SystemBuilder::with_tables(Scheme::LadderHybrid, &tables);
+            for (core, bench) in workload.members().into_iter().enumerate() {
+                let (trace, mlp) = trace_for(bench, core, cfg);
+                b.core(trace, mlp);
+            }
+            b.leveler(Box::new(HotPageRemapper::new(frames.clone(), 400)));
+            b.run()
+        }
+    });
+    let (base, plain, remapped) = (&runs[0], &runs[1], &runs[2]);
     let twr = |r: &crate::system::RunResult| {
         if r.mem.data_writes == 0 {
             0.0
@@ -931,7 +1085,7 @@ pub fn hot_remap_extension(cfg: &ExperimentConfig, workload: Workload) -> HotRem
     HotRemapResult {
         ladder_speedup: plain.ipc0() / base.ipc0(),
         ladder_remap_speedup: remapped.ipc0() / base.ipc0(),
-        twr_ladder_ns: twr(&plain),
-        twr_remap_ns: twr(&remapped),
+        twr_ladder_ns: twr(plain),
+        twr_remap_ns: twr(remapped),
     }
 }

@@ -12,8 +12,10 @@
 pub mod ablations;
 pub mod experiments;
 pub mod overhead;
+pub mod runner;
 mod scheme;
 mod system;
 
+pub use runner::{default_jobs, AloneIpcCache, RunSpec, Runner, RunnerStats};
 pub use scheme::Scheme;
 pub use system::{CoreResult, RunResult, SystemBuilder};

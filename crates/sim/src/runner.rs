@@ -1,0 +1,456 @@
+//! Work-stealing parallel experiment runner.
+//!
+//! Every experiment in this crate is a matrix of fully independent,
+//! deterministic simulations — the paper runs them as separate gem5
+//! instances, and nothing here shares mutable state between cells. The
+//! [`Runner`] exploits that: it takes a list of [`RunSpec`] jobs, fans
+//! them out over `jobs` worker threads with an atomic work-stealing
+//! cursor, and returns results **in submission order**, so the output of
+//! a parallel run is byte-identical to the sequential path.
+//!
+//! ```no_run
+//! use ladder_sim::experiments::ExperimentConfig;
+//! use ladder_sim::{RunSpec, Runner, Scheme};
+//! use ladder_sim::experiments::Workload;
+//! use std::sync::Arc;
+//!
+//! let cfg = ExperimentConfig::quick();
+//! let tables = Arc::new(cfg.tables());
+//! let runner = Runner::new();
+//! let specs = vec![
+//!     RunSpec::new(Scheme::Baseline, Workload::Single("astar")),
+//!     RunSpec::new(Scheme::LadderHybrid, Workload::Single("astar")),
+//! ];
+//! let (results, stats) = runner.run_specs(&cfg, &tables, &specs);
+//! assert_eq!(results.len(), 2);
+//! eprintln!("{}", stats.summary());
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ladder_memctrl::Tables;
+
+use crate::experiments::{run_one, ExperimentConfig, RunOptions, Workload};
+use crate::scheme::Scheme;
+use crate::system::RunResult;
+
+/// One cell of an evaluation matrix: a scheme, a workload, and the run
+/// options. Fully describes an independent simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// The write scheme under test.
+    pub scheme: Scheme,
+    /// The workload driving the cores.
+    pub workload: Workload,
+    /// Extra tracking/wear options for this run.
+    pub options: RunOptions,
+}
+
+impl RunSpec {
+    /// A spec with default [`RunOptions`].
+    pub fn new(scheme: Scheme, workload: Workload) -> Self {
+        RunSpec {
+            scheme,
+            workload,
+            options: RunOptions::default(),
+        }
+    }
+
+    /// A spec with explicit options.
+    pub fn with_options(scheme: Scheme, workload: Workload, options: RunOptions) -> Self {
+        RunSpec {
+            scheme,
+            workload,
+            options,
+        }
+    }
+}
+
+/// Timing observability for one batch of jobs.
+#[derive(Debug, Clone)]
+pub struct RunnerStats {
+    /// Number of jobs executed in the batch.
+    pub jobs: usize,
+    /// Worker threads the batch ran on.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Sum of per-job wall-clock times — the sequential-time estimate.
+    pub total_job_time: Duration,
+    /// Per-job wall-clock times, in submission order.
+    pub job_times: Vec<Duration>,
+}
+
+impl RunnerStats {
+    /// Estimated speedup over a sequential run of the same batch
+    /// (`total_job_time / wall`).
+    pub fn speedup_estimate(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            return 1.0;
+        }
+        self.total_job_time.as_secs_f64() / wall
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "runner: {} job{} on {} worker{}, wall {:.2}s, sim-time {:.2}s, est. speedup {:.2}x",
+            self.jobs,
+            if self.jobs == 1 { "" } else { "s" },
+            self.workers,
+            if self.workers == 1 { "" } else { "s" },
+            self.wall.as_secs_f64(),
+            self.total_job_time.as_secs_f64(),
+            self.speedup_estimate()
+        )
+    }
+
+    /// Folds another batch's stats into this one (used by experiments
+    /// that issue several batches).
+    pub fn merge(&mut self, other: &RunnerStats) {
+        self.jobs += other.jobs;
+        self.workers = self.workers.max(other.workers);
+        self.wall += other.wall;
+        self.total_job_time += other.total_job_time;
+        self.job_times.extend_from_slice(&other.job_times);
+    }
+}
+
+impl Default for RunnerStats {
+    fn default() -> Self {
+        RunnerStats {
+            jobs: 0,
+            workers: 0,
+            wall: Duration::ZERO,
+            total_job_time: Duration::ZERO,
+            job_times: Vec::new(),
+        }
+    }
+}
+
+/// Work-stealing executor for independent simulation jobs.
+///
+/// Jobs are claimed with an atomic cursor (`fetch_add`), so an idle
+/// worker always takes the next unstarted job regardless of how unequal
+/// the job durations are. Results land in per-slot cells indexed by
+/// submission position; the batch result vector is therefore identical
+/// to what a sequential loop would produce.
+#[derive(Debug)]
+pub struct Runner {
+    jobs: usize,
+    /// Stats accumulated over every batch this runner has executed, so a
+    /// caller can report one summary after several experiment calls.
+    accum: Mutex<RunnerStats>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runner {
+    /// A runner with the default worker count: the `LADDER_JOBS`
+    /// environment variable if set and positive, otherwise
+    /// [`std::thread::available_parallelism`].
+    pub fn new() -> Self {
+        Self::with_jobs(default_jobs())
+    }
+
+    /// A runner with an explicit worker count (clamped to at least 1).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Runner {
+            jobs: jobs.max(1),
+            accum: Mutex::new(RunnerStats::default()),
+        }
+    }
+
+    /// A strictly sequential runner (`jobs = 1`).
+    pub fn sequential() -> Self {
+        Self::with_jobs(1)
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `n` independent jobs produced by `f(index)` and returns the
+    /// results in index order plus batch statistics.
+    ///
+    /// With one worker the jobs run inline on the caller's thread; with
+    /// more, `std::thread::scope` workers steal indices from an atomic
+    /// cursor. A panic in any job propagates to the caller either way.
+    pub fn run_jobs<T, F>(&self, n: usize, f: F) -> (Vec<T>, RunnerStats)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.jobs.min(n.max(1));
+        let start = Instant::now();
+        let mut results: Vec<T> = Vec::with_capacity(n);
+        let mut job_times: Vec<Duration> = Vec::with_capacity(n);
+
+        if workers <= 1 {
+            for i in 0..n {
+                let t0 = Instant::now();
+                results.push(f(i));
+                job_times.push(t0.elapsed());
+            }
+        } else {
+            let slots: Vec<Mutex<Option<(T, Duration)>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let out = f(i);
+                        let elapsed = t0.elapsed();
+                        *slots[i].lock().unwrap() = Some((out, elapsed));
+                    });
+                }
+            });
+            for slot in slots {
+                let (out, elapsed) = slot
+                    .into_inner()
+                    .unwrap()
+                    .expect("runner: every job slot is filled after the scope joins");
+                results.push(out);
+                job_times.push(elapsed);
+            }
+        }
+
+        let wall = start.elapsed();
+        let total_job_time = job_times.iter().sum();
+        let stats = RunnerStats {
+            jobs: n,
+            workers,
+            wall,
+            total_job_time,
+            job_times,
+        };
+        self.accum.lock().unwrap().merge(&stats);
+        (results, stats)
+    }
+
+    /// Stats accumulated over every batch this runner has executed so far.
+    pub fn cumulative(&self) -> RunnerStats {
+        self.accum.lock().unwrap().clone()
+    }
+
+    /// Runs a batch of [`RunSpec`] simulation jobs against one shared
+    /// [`Tables`] bundle, returning results in submission order.
+    pub fn run_specs(
+        &self,
+        cfg: &ExperimentConfig,
+        tables: &Arc<Tables>,
+        specs: &[RunSpec],
+    ) -> (Vec<RunResult>, RunnerStats) {
+        self.run_jobs(specs.len(), |i| {
+            let spec = specs[i];
+            run_one(spec.scheme, spec.workload, cfg, tables, spec.options)
+        })
+    }
+}
+
+/// Resolves the default worker count: `LADDER_JOBS` (if set to a
+/// positive integer), else `available_parallelism()`, else 1.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("LADDER_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Memoized alone-run baseline IPCs, keyed by benchmark name.
+///
+/// Mix metrics (weighted speedup, fair slowdown) normalize each member's
+/// IPC by the IPC of the same benchmark running alone under the
+/// baseline scheme. The evaluation matrix already produces most of those
+/// runs (every `Workload::Single` × `Scheme::Baseline` cell), so the
+/// cache is populated from matrix results first and only the leftover
+/// benchmarks (mix members that are not in the single-programmed set)
+/// are simulated on demand.
+#[derive(Debug, Clone, Default)]
+pub struct AloneIpcCache {
+    ipc: HashMap<&'static str, f64>,
+}
+
+impl AloneIpcCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the alone-run baseline IPC for `bench`.
+    pub fn insert(&mut self, bench: &'static str, ipc: f64) {
+        self.ipc.insert(bench, ipc);
+    }
+
+    /// The cached IPC for `bench`, if present.
+    pub fn get(&self, bench: &str) -> Option<f64> {
+        self.ipc.get(bench).copied()
+    }
+
+    /// The cached IPC for `bench`; panics if the cache was not populated
+    /// for it (a bug in the caller's populate step).
+    pub fn ipc(&self, bench: &str) -> f64 {
+        self.get(bench)
+            .unwrap_or_else(|| panic!("alone-run IPC for '{bench}' was never populated"))
+    }
+
+    /// Number of cached benchmarks.
+    pub fn len(&self) -> usize {
+        self.ipc.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ipc.is_empty()
+    }
+
+    /// The benchmarks from `benches` that are not cached yet, deduplicated
+    /// and in first-appearance order.
+    pub fn missing(&self, benches: &[&'static str]) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for &b in benches {
+            if self.get(b).is_none() && !out.contains(&b) {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Simulates (in parallel) and caches the alone-run baseline IPC for
+    /// every benchmark in `benches` that is still missing. Returns the
+    /// batch statistics if anything had to run.
+    pub fn ensure(
+        &mut self,
+        benches: &[&'static str],
+        runner: &Runner,
+        cfg: &ExperimentConfig,
+        tables: &Arc<Tables>,
+    ) -> Option<RunnerStats> {
+        let missing = self.missing(benches);
+        if missing.is_empty() {
+            return None;
+        }
+        let specs: Vec<RunSpec> = missing
+            .iter()
+            .map(|&b| RunSpec::new(Scheme::Baseline, Workload::Single(b)))
+            .collect();
+        let (results, stats) = runner.run_specs(cfg, tables, &specs);
+        for (&b, r) in missing.iter().zip(&results) {
+            self.insert(b, r.ipc0());
+        }
+        Some(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let runner = Runner::with_jobs(4);
+        // Later jobs finish first: ordering must still follow submission.
+        let (results, stats) = runner.run_jobs(16, |i| {
+            std::thread::sleep(Duration::from_millis((16 - i) as u64));
+            i * 10
+        });
+        assert_eq!(results, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(stats.jobs, 16);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.job_times.len(), 16);
+    }
+
+    #[test]
+    fn sequential_runner_matches_parallel() {
+        let f = |i: usize| i * i + 7;
+        let (seq, seq_stats) = Runner::sequential().run_jobs(10, f);
+        let (par, _) = Runner::with_jobs(3).run_jobs(10, f);
+        assert_eq!(seq, par);
+        assert_eq!(seq_stats.workers, 1);
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Runner::with_jobs(0).jobs(), 1);
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_job_count() {
+        let (_, stats) = Runner::with_jobs(8).run_jobs(2, |i| i);
+        assert_eq!(stats.workers, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (results, stats) = Runner::new().run_jobs(0, |i| i);
+        assert!(results.is_empty());
+        assert_eq!(stats.jobs, 0);
+        assert!(stats.speedup_estimate() >= 0.0);
+    }
+
+    #[test]
+    fn cumulative_stats_span_batches() {
+        let runner = Runner::with_jobs(2);
+        runner.run_jobs(3, |i| i);
+        runner.run_jobs(4, |i| i);
+        let total = runner.cumulative();
+        assert_eq!(total.jobs, 7);
+        assert_eq!(total.job_times.len(), 7);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let (_, mut a) = Runner::sequential().run_jobs(3, |i| i);
+        let (_, b) = Runner::sequential().run_jobs(2, |i| i);
+        a.merge(&b);
+        assert_eq!(a.jobs, 5);
+        assert_eq!(a.job_times.len(), 5);
+    }
+
+    #[test]
+    fn summary_mentions_jobs_and_workers() {
+        let (_, stats) = Runner::with_jobs(2).run_jobs(4, |i| i);
+        let s = stats.summary();
+        assert!(s.contains("4 jobs"), "{s}");
+        assert!(s.contains("2 workers"), "{s}");
+    }
+
+    #[test]
+    fn alone_cache_dedups_and_memoizes() {
+        let mut cache = AloneIpcCache::new();
+        cache.insert("astar", 1.5);
+        assert_eq!(cache.get("astar"), Some(1.5));
+        assert_eq!(cache.ipc("astar"), 1.5);
+        assert_eq!(
+            cache.missing(&["astar", "mcf", "mcf", "lbm"]),
+            vec!["mcf", "lbm"]
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never populated")]
+    fn alone_cache_panics_on_missing_bench() {
+        AloneIpcCache::new().ipc("nonesuch");
+    }
+}

@@ -131,7 +131,8 @@ mod tests {
     #[test]
     fn every_scheme_constructs() {
         let cfg = TableConfig::ladder_default();
-        let (ladder, blp) = standard_tables(&cfg);
+        let t = standard_tables(&cfg);
+        let (ladder, blp) = (t.ladder, t.blp);
         let map = AddressMap::new(Geometry::default());
         for s in [
             Scheme::Baseline,

@@ -5,7 +5,9 @@ use crate::scheme::Scheme;
 use ladder_core::LadderConfig;
 use ladder_cpu::{Core, CoreAction, CoreConfig, TraceSource};
 use ladder_energy::{EnergyBreakdown, EnergyMeter, EnergyParams};
-use ladder_memctrl::{CwTrace, LatencyHistogram, MemCtrlConfig, MemStats, MemoryController, ReqId};
+use ladder_memctrl::{
+    CwTrace, LatencyHistogram, MemCtrlConfig, MemStats, MemoryController, ReqId, Tables,
+};
 use ladder_reram::{AddressMap, Geometry, Instant, LineAddr, Picos};
 use ladder_wear::{RotateHwl, SharedWearMap, WearLeveler};
 use ladder_xbar::{CrossbarParams, TimingTable};
@@ -152,6 +154,12 @@ pub struct SystemBuilder {
 }
 
 impl SystemBuilder {
+    /// Starts a builder for `scheme`, cloning both tables out of a shared
+    /// [`Tables`] bundle.
+    pub fn with_tables(scheme: Scheme, tables: &Tables) -> Self {
+        Self::new(scheme, tables.ladder.clone(), tables.blp.clone())
+    }
+
     /// Starts a builder for `scheme` over shared timing tables.
     pub fn new(scheme: Scheme, ladder_table: TimingTable, blp_table: TimingTable) -> Self {
         Self {
@@ -472,7 +480,8 @@ mod tests {
     use ladder_xbar::TableConfig;
 
     fn tables() -> (TimingTable, TimingTable) {
-        standard_tables(&TableConfig::ladder_default())
+        let t = standard_tables(&TableConfig::ladder_default());
+        (t.ladder, t.blp)
     }
 
     fn simple_trace(n: u64, base_page: u64) -> VecTrace {

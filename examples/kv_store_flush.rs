@@ -56,7 +56,7 @@ fn kv_trace(base_page: u64) -> VecTrace {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (ladder_table, blp_table) = standard_tables(&TableConfig::ladder_default());
+    let tables = standard_tables(&TableConfig::ladder_default());
     let base_page = 40_000;
     println!("KV-store checkpoint flush: 10 bursts x 200 write-backs + 600 lookups\n");
     println!(
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "scheme", "read (ns)", "P95 (ns)", "P99 (ns)", "write svc (ns)", "IPC", "runtime (us)"
     );
     for scheme in [Scheme::Baseline, Scheme::SplitReset, Scheme::Blp, Scheme::LadderHybrid] {
-        let mut b = SystemBuilder::new(scheme, ladder_table.clone(), blp_table.clone());
+        let mut b = SystemBuilder::with_tables(scheme, &tables);
         b.core(Box::new(kv_trace(base_page)), 8);
         let r = b.run();
         println!(

@@ -1,0 +1,18 @@
+# Developer entry points. `just verify` is the gate every change must pass.
+
+# Build + test + lint, all offline (the workspace has no external deps).
+verify:
+    ./scripts/verify.sh
+
+build:
+    cargo build --release --workspace --offline
+
+test:
+    cargo test -q --workspace --offline
+
+clippy:
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Regenerate the paper's main evaluation (set jobs, e.g. `just main-eval 8`).
+main-eval jobs="4":
+    cargo run --release -p ladder-bench --bin main_eval -- --jobs {{jobs}}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, tests, clippy-clean.
+# The workspace is fully path-local, so everything runs with --offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "verify: OK"

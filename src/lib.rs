@@ -26,7 +26,7 @@
 //! use ladder::reram::LineAddr;
 //! use ladder::xbar::TableConfig;
 //!
-//! let (lt, bt) = standard_tables(&TableConfig::ladder_default());
+//! let tables = standard_tables(&TableConfig::ladder_default());
 //! let trace = VecTrace::new(
 //!     "demo",
 //!     vec![MemEvent {
@@ -34,11 +34,22 @@
 //!         op: TraceOp::Write { addr: LineAddr::new(40_000 * 64), data: Box::new([1; 64]) },
 //!     }],
 //! );
-//! let mut b = SystemBuilder::new(Scheme::LadderHybrid, lt, bt);
+//! let mut b = SystemBuilder::with_tables(Scheme::LadderHybrid, &tables);
 //! b.core(Box::new(trace), 8);
 //! let result = b.run();
 //! assert_eq!(result.mem.data_writes, 1);
 //! ```
+//!
+//! The experiment entry points in [`sim::experiments`] run through the
+//! work-stealing [`sim::Runner`], which executes independent
+//! [`sim::RunSpec`] jobs across threads while keeping output byte-identical
+//! to a sequential run.
+
+/// The shared `(ladder, blp)` timing-table bundle, re-exported at the top
+/// level because nearly every entry point takes one.
+pub use ladder_memctrl::Tables;
+/// The parallel experiment runner and its job/statistics types.
+pub use ladder_sim::{AloneIpcCache, RunSpec, Runner, RunnerStats};
 
 pub use ladder_baselines as baselines;
 pub use ladder_core as core;

@@ -138,7 +138,11 @@ fn wear_leveling_keeps_most_of_the_performance() {
 #[test]
 fn shrunk_range_still_beats_baseline() {
     let cfg = quick_cfg();
-    let v = ladder::sim::experiments::variability(&cfg, Workload::Single("astar"));
+    let v = ladder::sim::experiments::variability(
+        &cfg,
+        Workload::Single("astar"),
+        &ladder::Runner::new(),
+    );
     assert!(v.speedup_full > 1.0);
     assert!(v.speedup_shrunk > 1.0, "shrunk-range LADDER must still win");
     assert!(v.speedup_shrunk < v.speedup_full * 1.02);
