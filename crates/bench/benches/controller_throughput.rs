@@ -24,12 +24,12 @@ fn bench_controller(c: &mut Criterion) {
                 let addr = LineAddr::new(40_000 * 64 + (i * 17) % 8192);
                 if i % 3 == 0 {
                     while !mc.enqueue_write(addr, [i as u8; 64], now) {
-                        now = mc.next_event(now).expect("progress");
+                        now = mc.next_wake(now).expect("progress");
                         mc.process(now);
                     }
                 } else {
                     while mc.enqueue_read(addr, now).is_none() {
-                        now = mc.next_event(now).expect("progress");
+                        now = mc.next_wake(now).expect("progress");
                         mc.process(now);
                     }
                 }

@@ -6,14 +6,21 @@
 //! This is the expensive end-to-end check of DESIGN.md §2's substitution
 //! argument; expect ~0.5–2 minutes of solver time.
 
+use ladder_bench::quick_requested;
 use ladder_xbar::{SolverKind, TableConfig, TableSource, TimingTable};
 
 fn main() {
     let mut cfg = TableConfig::ladder_default();
-    cfg.bands = 4;
-    eprintln!("generating 4x4x4 analytic table ...");
+    // `--quick` drops to a 2x2x2 table (8 exact solves) for CI smoke runs;
+    // the full validation uses 4x4x4.
+    let bands = if quick_requested() { 2 } else { 4 };
+    cfg.bands = bands;
+    eprintln!("generating {bands}x{bands}x{bands} analytic table ...");
     let ana = TimingTable::generate(&cfg).expect("analytic table");
-    eprintln!("generating 4x4x4 MNA table (64 exact 512x512 solves) ...");
+    eprintln!(
+        "generating {bands}x{bands}x{bands} MNA table ({} exact 512x512 solves) ...",
+        bands * bands * bands
+    );
     cfg.source = TableSource::Mna(SolverKind::LineRelaxation);
     let t0 = std::time::Instant::now();
     let mna = TimingTable::generate(&cfg).expect("mna table");
@@ -22,9 +29,9 @@ fn main() {
     println!("entry (c,w,b): analytic ns / MNA ns (ratio)");
     let mut worst_ratio: f64 = 0.0;
     let mut conservative = true;
-    for c in 0..4 {
-        for w in 0..4 {
-            for b in 0..4 {
+    for c in 0..bands {
+        for w in 0..bands {
+            for b in 0..bands {
                 let a = ana.entry(c, w, b) as f64 / 1000.0;
                 let m = mna.entry(c, w, b) as f64 / 1000.0;
                 let ratio = a / m;

@@ -19,17 +19,24 @@
 use ladder_sim::experiments::ExperimentConfig;
 use ladder_sim::Runner;
 
-/// Parses `--instructions N` and `--seed S` from the command line into an
-/// experiment configuration (defaults: 1 M instructions, seed 2021).
+/// Parses `--quick`, `--instructions N` and `--seed S` from the command
+/// line into an experiment configuration (defaults: 1 M instructions,
+/// seed 2021). `--quick` starts from [`ExperimentConfig::quick`] — the
+/// smoke-test scale CI uses — and an explicit `--instructions` still
+/// overrides it.
 ///
 /// # Panics
 ///
 /// Panics on malformed arguments.
 pub fn config_from_args() -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::default();
     let args: Vec<String> = std::env::args().collect();
+    let mut cfg = if quick_requested() {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
     let mut i = 1;
-    while i + 1 < args.len() {
+    while i < args.len() {
         match args[i].as_str() {
             "--instructions" => {
                 cfg.instructions_per_core = args[i + 1].parse().expect("instruction count");
@@ -43,6 +50,13 @@ pub fn config_from_args() -> ExperimentConfig {
         }
     }
     cfg
+}
+
+/// Whether `--quick` was passed on the command line. Binaries whose
+/// workload is not derived from [`ExperimentConfig`] (e.g. `mna_table`,
+/// `crash`) use this to scale their own inputs down to smoke-run size.
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
 }
 
 /// Builds the experiment [`Runner`] from the command line: `--jobs N`

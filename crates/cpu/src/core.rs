@@ -8,6 +8,19 @@
 //! deliberately simpler than an out-of-order pipeline model, but it exposes
 //! exactly the sensitivities the paper measures: read latency (queueing
 //! behind write drains) and write-queue backpressure.
+//!
+//! # Event-kernel contract
+//!
+//! Cores are driven by a discrete-event kernel, not polled on a time
+//! step. [`Core::next_action`] *posts* the core's next-ready instant:
+//! `Idle { until: Some(t) }` promises the core has nothing to do strictly
+//! before `t` (the kernel schedules exactly one wake there), while
+//! `Idle { until: None }` means the core waits on an external event — a
+//! read completion or controller queue space — and the kernel re-drives
+//! it when one occurs. Calling `next_action` again at an instant where
+//! the core is idle or blocked is harmless and changes no state, which is
+//! what lets the kernel safely retry blocked cores after every controller
+//! dispatch.
 
 use crate::trace::{MemEvent, TraceOp, TraceSource};
 use ladder_reram::{Instant, LineAddr, LineData, Picos};

@@ -15,7 +15,7 @@ use crate::histogram::LatencyHistogram;
 use crate::policy::WritePolicy;
 use ladder_core::{ReadKind, SpillBuffer};
 use ladder_reram::{
-    AddressMap, DeviceTiming, Instant, LineAddr, LineData, LineStore, Picos, WlgId,
+    AddressMap, DeviceTiming, EventQueue, Instant, LineAddr, LineData, LineStore, Picos, WlgId,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -139,6 +139,30 @@ enum Mode {
     WriteDrain,
 }
 
+/// Why the controller registered a wake-up.
+///
+/// Every state change that could make new progress possible schedules one
+/// of these on the controller's internal wake queue at the precise instant
+/// the opportunity opens. An external event pump absorbs them through
+/// [`MemoryController::take_wakes`]; standalone drivers step time with
+/// [`MemoryController::next_wake`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtrlWake {
+    /// New work entered a queue: a demand read or write, a dependency
+    /// read, or a metadata write-back.
+    WorkArrived,
+    /// A bank finishes its current operation and can accept the next.
+    BankFree,
+    /// A write left the write queue, freeing a slot a rejected writer can
+    /// claim.
+    QueueSlotFree,
+    /// The last outstanding dependency read for a queued write completes,
+    /// making that write dispatchable.
+    DepReady,
+    /// A channel switched between read mode and write-drain mode.
+    ModeSwitch,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RKind {
     Demand,
@@ -248,9 +272,14 @@ impl Channel {
 
 /// The memory controller.
 ///
-/// Drive it with [`MemoryController::process`] at event times; discover
-/// those times with [`MemoryController::next_event`]. Completed demand
-/// reads are collected through [`MemoryController::take_completed_reads`].
+/// Drive it with [`MemoryController::process`] at event times. The
+/// controller is schedule-based: every enqueue and issue registers the
+/// precise instant at which new progress becomes possible (a
+/// [`CtrlWake`]). Standalone drivers step time with
+/// [`MemoryController::next_wake`]; an event pump drains the registered
+/// wakes with [`MemoryController::take_wakes`] and dispatches them from
+/// its own queue. Completed demand reads are collected through
+/// [`MemoryController::take_completed_reads`].
 #[derive(Debug)]
 pub struct MemoryController {
     cfg: MemCtrlConfig,
@@ -266,6 +295,7 @@ pub struct MemoryController {
     stats: MemStats,
     read_histogram: LatencyHistogram,
     observer: Option<Box<dyn ObserverDebug>>,
+    wakes: EventQueue<CtrlWake>,
 }
 
 /// Internal marker combining the observer trait with Debug for derive.
@@ -304,6 +334,7 @@ impl MemoryController {
             stats: MemStats::default(),
             read_histogram: LatencyHistogram::new(),
             observer: None,
+            wakes: EventQueue::new(),
         }
     }
 
@@ -390,6 +421,7 @@ impl MemoryController {
             enqueued_at: now,
             for_write: None,
         });
+        self.wakes.schedule(now, CtrlWake::WorkArrived);
         Some(id)
     }
 
@@ -428,6 +460,7 @@ impl MemoryController {
         let idx = c.wrq.len();
         c.wrq.push(entry);
         self.stats.wrq_peak = self.stats.wrq_peak.max(self.channels[ch].wrq.len());
+        self.wakes.schedule(now, CtrlWake::WorkArrived);
         let mut e = self.channels[ch].wrq[idx].clone();
         self.prepare_entry(&mut e, now);
         self.channels[ch].wrq[idx] = e;
@@ -440,7 +473,7 @@ impl MemoryController {
         debug_assert_eq!(entry.kind, WKind::Data);
         let prep = self.policy.prepare(entry.addr, &self.store);
         for wb in &prep.writebacks {
-            self.enqueue_metadata_writeback(*wb);
+            self.enqueue_metadata_writeback(*wb, now);
         }
         if prep.spilled {
             entry.prepared = false;
@@ -489,7 +522,7 @@ impl MemoryController {
         }
     }
 
-    fn enqueue_metadata_writeback(&mut self, addr: LineAddr) {
+    fn enqueue_metadata_writeback(&mut self, addr: LineAddr, now: Instant) {
         let id = self.fresh_id();
         let entry = WriteEntry {
             id,
@@ -506,6 +539,7 @@ impl MemoryController {
         } else {
             c.write_overflow.push_back(entry);
         }
+        self.wakes.schedule(now, CtrlWake::WorkArrived);
     }
 
     /// Demand-read completions since the last call: `(id, completion)`.
@@ -513,29 +547,27 @@ impl MemoryController {
         std::mem::take(&mut self.completed_reads)
     }
 
-    /// Earliest future instant (strictly after `now`) at which new progress
-    /// might be possible, or `None` when nothing is queued or everything
-    /// issuable has issued.
-    pub fn next_event(&self, now: Instant) -> Option<Instant> {
+    /// Earliest registered wake strictly after `now`, or `None` when every
+    /// queue is empty. Wakes at or before `now` are discarded (their
+    /// opportunity is served by the `process(now)` the caller is about to
+    /// run, or already was).
+    ///
+    /// This replaces the old polled `next_event` scan over every bank and
+    /// dependency: instead of recomputing candidate times from state, the
+    /// controller registered each one the moment it became known.
+    pub fn next_wake(&mut self, now: Instant) -> Option<Instant> {
         if !self.channels.iter().any(Channel::has_work) {
             return None;
         }
-        let mut best: Option<Instant> = None;
-        let mut consider = |t: Instant| {
-            if t > now {
-                best = Some(match best {
-                    Some(b) => b.min(t),
-                    None => t,
-                });
-            }
-        };
-        for &b in &self.banks {
-            consider(b);
-        }
-        for dep in self.write_deps.values() {
-            consider(dep.ready_at);
-        }
-        best
+        self.wakes.next_after(now)
+    }
+
+    /// Drains every registered wake, in firing order, for an external
+    /// event pump to absorb into its own queue. Unlike
+    /// [`MemoryController::next_wake`] this does not filter stale or
+    /// duplicate entries — the pump coalesces same-instant dispatches.
+    pub fn take_wakes(&mut self) -> Vec<(Instant, CtrlWake)> {
+        self.wakes.drain()
     }
 
     /// Whether every queue is empty.
@@ -621,6 +653,7 @@ impl MemoryController {
                 if len >= self.cfg.drain_high {
                     self.channels[ch].mode = Mode::WriteDrain;
                     self.stats.drain_switches += 1;
+                    self.wakes.schedule(now, CtrlWake::ModeSwitch);
                 }
             }
             Mode::WriteDrain => {
@@ -629,6 +662,7 @@ impl MemoryController {
                 let any_viable = self.channels[ch].wrq.iter().any(|w| w.prepared);
                 if len <= self.cfg.drain_low || !any_viable {
                     self.channels[ch].mode = Mode::Read;
+                    self.wakes.schedule(now, CtrlWake::ModeSwitch);
                     self.retry_spilled(now);
                 }
             }
@@ -648,6 +682,11 @@ impl MemoryController {
             }
         }
         targets.sort_by_key(|&(_, _, id)| id);
+        if !targets.is_empty() {
+            // Re-prepared writes (and any dependency reads they wire in)
+            // become actionable at `now`.
+            self.wakes.schedule(now, CtrlWake::WorkArrived);
+        }
         for (ci, wi, id) in targets {
             // Re-locate defensively in case indices shifted (they cannot —
             // prepare never removes write entries — but stay robust).
@@ -679,6 +718,7 @@ impl MemoryController {
         let burst_start = self.channels[ch].bus.reserve(nominal_burst, timing.t_burst, now);
         let completion = burst_start + timing.t_burst;
         self.banks[bank] = completion;
+        self.wakes.schedule(completion, CtrlWake::BankFree);
         match entry.kind {
             RKind::Demand => {
                 self.stats.demand_reads += 1;
@@ -692,6 +732,10 @@ impl MemoryController {
                     if let Some(dep) = self.write_deps.get_mut(&wid) {
                         dep.outstanding -= 1;
                         dep.ready_at = dep.ready_at.max(completion);
+                        if dep.outstanding == 0 {
+                            let at = dep.ready_at;
+                            self.wakes.schedule(at, CtrlWake::DepReady);
+                        }
                     }
                 }
             }
@@ -738,6 +782,10 @@ impl MemoryController {
         let burst_start = self.channels[ch].bus.reserve(nominal_burst, timing.t_burst, now);
         let completion = burst_start + timing.t_burst;
         self.banks[bank] = completion;
+        self.wakes.schedule(completion, CtrlWake::BankFree);
+        // The write-queue slot frees the moment the write dispatches, so
+        // writers rejected on a full queue can retry at `now`.
+        self.wakes.schedule(now, CtrlWake::QueueSlotFree);
         match entry.kind {
             WKind::Data => {
                 self.stats.data_writes += 1;
@@ -786,15 +834,27 @@ impl MemoryController {
                 break;
             }
             for addr in dirty {
-                self.enqueue_metadata_writeback(addr);
+                self.enqueue_metadata_writeback(addr, now);
             }
             now = self.drain_all(now);
         }
         now
     }
 
+    /// Event-driven drain: force write-drain mode, process, and hop from
+    /// registered wake to registered wake until every queue empties.
+    ///
+    /// Invariant: after `process(now)`, a non-idle controller either has a
+    /// registered future wake (an in-flight operation's bank frees, making
+    /// the next head-of-queue entry issuable), or its only remaining work
+    /// is spilled writes whose metadata could not be pinned — which
+    /// `retry_spilled` re-prepares once their conflicting pins released.
+    /// A second consecutive stall at the same instant means the retry
+    /// changed nothing and no event can ever arrive: a scheduling bug,
+    /// reported by panicking rather than silently truncating the
+    /// simulation. (This replaces the old `stall_guard < 4` counter, which
+    /// tolerated — and hid — repeated no-progress retries.)
     fn drain_all(&mut self, mut now: Instant) -> Instant {
-        let mut stall_guard = 0u32;
         loop {
             for c in &mut self.channels {
                 if !c.wrq.is_empty() || !c.write_overflow.is_empty() {
@@ -805,15 +865,16 @@ impl MemoryController {
             if self.is_idle() {
                 break;
             }
-            match self.next_event(now) {
-                Some(t) => {
-                    now = t;
-                    stall_guard = 0;
-                }
+            match self.next_wake(now) {
+                Some(t) => now = t,
                 None => {
                     self.retry_spilled(now);
-                    stall_guard += 1;
-                    assert!(stall_guard < 4, "controller wedged during finish");
+                    self.process(now);
+                    assert!(
+                        self.is_idle() || self.next_wake(now).is_some(),
+                        "controller wedged during finish: work queued at {now} \
+                         with no future wake and nothing re-preparable"
+                    );
                 }
             }
         }
@@ -970,7 +1031,7 @@ mod tests {
         assert!(mc.take_completed_reads().is_empty(), "read must wait out the drain");
         // Let the drain run its course.
         for _ in 0..100000 {
-            match mc.next_event(now) {
+            match mc.next_wake(now) {
                 Some(t) => now = t,
                 None => break,
             }
@@ -1054,12 +1115,12 @@ mod tests {
             let addr = LineAddr::new(first_data + (i * 17) % (8 * 64));
             if i % 3 == 0 {
                 while mc.enqueue_read(addr, now).is_none() {
-                    now = mc.next_event(now).expect("progress");
+                    now = mc.next_wake(now).expect("progress");
                     mc.process(now);
                 }
             } else {
                 while !mc.enqueue_write(addr, [(i % 251) as u8; 64], now) {
-                    now = mc.next_event(now).expect("progress");
+                    now = mc.next_wake(now).expect("progress");
                     mc.process(now);
                 }
             }
@@ -1129,7 +1190,7 @@ mod stress_tests {
         for i in 0..200u64 {
             let addr = LineAddr::new((first_data + i * 7) * 64 + i % 64);
             while !mc.enqueue_write(addr, [(i % 251) as u8; 64], now) {
-                now = mc.next_event(now).expect("progress");
+                now = mc.next_wake(now).expect("progress");
                 mc.process(now);
             }
             accepted += 1;
@@ -1153,7 +1214,7 @@ mod stress_tests {
         for i in 0..40u64 {
             let addr = LineAddr::new((first_data + 100 + i * 3) * 64);
             while !mc.enqueue_write(addr, [7; 64], now) {
-                now = mc.next_event(now).expect("progress");
+                now = mc.next_wake(now).expect("progress");
                 mc.process(now);
             }
         }
@@ -1182,7 +1243,7 @@ mod stress_tests {
             }
             mc.process(now);
             if x.is_multiple_of(7) {
-                if let Some(t) = mc.next_event(now) {
+                if let Some(t) = mc.next_wake(now) {
                     now = t;
                     mc.process(now);
                 }

@@ -34,7 +34,7 @@ mod controller;
 mod histogram;
 mod policy;
 
-pub use controller::{AccessObserver, MemCtrlConfig, MemStats, MemoryController, ReqId};
+pub use controller::{AccessObserver, CtrlWake, MemCtrlConfig, MemStats, MemoryController, ReqId};
 pub use histogram::LatencyHistogram;
 pub use policy::{
     standard_tables, BlpPolicy, CwTrace, FixedWorstPolicy, LadderPolicy, LocationAwarePolicy,

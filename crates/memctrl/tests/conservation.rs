@@ -84,7 +84,7 @@ proptest! {
                     }
                 }
                 Req::Advance => {
-                    if let Some(t) = mc.next_event(now) {
+                    if let Some(t) = mc.next_wake(now) {
                         now = t;
                     }
                 }

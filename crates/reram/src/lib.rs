@@ -31,5 +31,5 @@ mod timing;
 pub use address::{AddressMap, Decoded, LineAddr, WlgId};
 pub use geometry::{Geometry, LINES_PER_WLG, LINE_BYTES, PAGE_BYTES};
 pub use store::{line_ones, LineData, LineStore};
-pub use time::{Instant, Picos};
+pub use time::{EventQueue, Instant, Picos};
 pub use timing::DeviceTiming;

@@ -48,7 +48,15 @@ impl LineStore {
 
     /// Writes a line, returning the previous contents (the "stale memory
     /// block" LADDER-Basic reads back).
+    ///
+    /// Writing all-zero data to an untouched line is a no-op on the sparse
+    /// map: the line already reads as all-zero (all-HRS), so inserting the
+    /// default value would only grow the map. Once a line is resident it
+    /// stays resident, even when rewritten to all-zero.
     pub fn write(&mut self, addr: LineAddr, data: LineData) -> LineData {
+        if data == [0; LINE_BYTES] && !self.lines.contains_key(&addr.raw()) {
+            return [0; LINE_BYTES];
+        }
         self.lines
             .insert(addr.raw(), data)
             .unwrap_or([0; LINE_BYTES])
@@ -89,6 +97,26 @@ mod tests {
         assert_eq!(first, [0; LINE_BYTES]);
         let second = store.write(a, [2; LINE_BYTES]);
         assert_eq!(second, [1; LINE_BYTES]);
+        assert_eq!(store.resident_lines(), 1);
+    }
+
+    #[test]
+    fn all_zero_write_to_untouched_line_does_not_grow_the_map() {
+        let mut store = LineStore::new();
+        let a = LineAddr::new(5);
+        // Functionally identical to before: previous contents are zero...
+        assert_eq!(store.write(a, [0; LINE_BYTES]), [0; LINE_BYTES]);
+        // ...reads still return zero...
+        assert_eq!(store.read(a), [0; LINE_BYTES]);
+        // ...but no entry equal to the default was materialized.
+        assert_eq!(store.resident_lines(), 0);
+
+        // A resident line rewritten to all-zero stays resident and keeps
+        // returning its stale contents correctly.
+        store.write(a, [9; LINE_BYTES]);
+        assert_eq!(store.write(a, [0; LINE_BYTES]), [9; LINE_BYTES]);
+        assert!(store.contains(a));
+        assert_eq!(store.read(a), [0; LINE_BYTES]);
         assert_eq!(store.resident_lines(), 1);
     }
 

@@ -4,6 +4,8 @@
 //! are exact multiples of 1 ps, so simulation arithmetic is exact — no
 //! floating-point drift across billions of cycles.
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -172,6 +174,141 @@ impl fmt::Display for Instant {
     }
 }
 
+/// A deterministic discrete-event queue: a min-heap of `(Instant, K)`
+/// entries with stable FIFO tie-breaking.
+///
+/// Events scheduled for the same instant pop in the order they were
+/// scheduled (each entry carries a monotonically increasing sequence
+/// number), so a simulation driven by an `EventQueue` is reproducible
+/// bit-for-bit regardless of heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_reram::{EventQueue, Instant};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Instant::from_ps(20), "late");
+/// q.schedule(Instant::from_ps(10), "first");
+/// q.schedule(Instant::from_ps(10), "second");
+/// assert_eq!(q.pop(), Some((Instant::from_ps(10), "first")));
+/// assert_eq!(q.pop(), Some((Instant::from_ps(10), "second")));
+/// assert_eq!(q.pop(), Some((Instant::from_ps(20), "late")));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<K> {
+    heap: BinaryHeap<Scheduled<K>>,
+    seq: u64,
+    scheduled_total: u64,
+}
+
+#[derive(Debug)]
+struct Scheduled<K> {
+    at: Instant,
+    seq: u64,
+    kind: K,
+}
+
+impl<K> PartialEq for Scheduled<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<K> Eq for Scheduled<K> {}
+
+impl<K> Ord for Scheduled<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed on both keys: BinaryHeap is a max-heap, we want the
+        // earliest instant first and, within an instant, the lowest
+        // sequence number (FIFO).
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl<K> PartialOrd for Scheduled<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K> Default for EventQueue<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> EventQueue<K> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedules `kind` to fire at `at`.
+    pub fn schedule(&mut self, at: Instant, kind: K) {
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            kind,
+        });
+        self.seq += 1;
+        self.scheduled_total += 1;
+    }
+
+    /// Removes and returns the earliest event (FIFO among ties).
+    pub fn pop(&mut self) -> Option<(Instant, K)> {
+        self.heap.pop().map(|s| (s.at, s.kind))
+    }
+
+    /// The instant of the earliest scheduled event.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Discards every event scheduled at or before `now` and returns the
+    /// instant of the earliest remaining one. Standalone controller
+    /// drivers use this to step time ("when could anything next happen?")
+    /// without dispatching individual events.
+    pub fn next_after(&mut self, now: Instant) -> Option<Instant> {
+        while let Some(s) = self.heap.peek() {
+            if s.at > now {
+                return Some(s.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of events currently scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Removes every scheduled event, returning them in firing order.
+    pub fn drain(&mut self) -> Vec<(Instant, K)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.pop() {
+            out.push(e);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +351,60 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_duration_panics() {
         let _ = Picos::from_ns(-1.0);
+    }
+
+    #[test]
+    fn event_queue_pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_ps(300), 'c');
+        q.schedule(Instant::from_ps(100), 'a');
+        q.schedule(Instant::from_ps(200), 'b');
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(Instant::from_ps(100)));
+        assert_eq!(q.pop(), Some((Instant::from_ps(100), 'a')));
+        assert_eq!(q.pop(), Some((Instant::from_ps(200), 'b')));
+        assert_eq!(q.pop(), Some((Instant::from_ps(300), 'c')));
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 3);
+    }
+
+    #[test]
+    fn event_queue_breaks_ties_fifo() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_ps(50);
+        // Interleave with another instant so heap sift ordering gets a
+        // chance to scramble equal-time entries if the tie-break were
+        // missing.
+        for i in 0..16u32 {
+            q.schedule(t, i);
+            q.schedule(Instant::from_ps(40), 1000 + i);
+        }
+        let drained = q.drain();
+        let at_40: Vec<u32> = drained
+            .iter()
+            .filter(|(at, _)| *at == Instant::from_ps(40))
+            .map(|&(_, k)| k)
+            .collect();
+        let at_50: Vec<u32> = drained
+            .iter()
+            .filter(|(at, _)| *at == t)
+            .map(|&(_, k)| k)
+            .collect();
+        assert_eq!(at_40, (1000..1016).collect::<Vec<_>>());
+        assert_eq!(at_50, (0..16).collect::<Vec<_>>());
+        // All t=40 events come before any t=50 event.
+        assert!(drained[..16].iter().all(|(at, _)| *at == Instant::from_ps(40)));
+    }
+
+    #[test]
+    fn event_queue_next_after_skips_stale() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_ps(10), ());
+        q.schedule(Instant::from_ps(20), ());
+        q.schedule(Instant::from_ps(30), ());
+        assert_eq!(q.next_after(Instant::from_ps(20)), Some(Instant::from_ps(30)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_after(Instant::from_ps(30)), None);
+        assert!(q.is_empty());
     }
 }

@@ -418,22 +418,6 @@ impl<'a> MainEvalBuilder<'a> {
     }
 }
 
-/// Runs the main evaluation (the data behind Figs. 12, 13, 14, 16, 17).
-///
-/// `schemes` defaults to [`Scheme::MAIN_EVAL`] when `None`; the baseline is
-/// always required (normalization target).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `MainEval::builder(cfg).schemes(&[...]).run(&runner)` instead"
-)]
-pub fn main_eval(cfg: &ExperimentConfig, schemes: Option<&[Scheme]>) -> MainEval {
-    let mut b = MainEval::builder(cfg);
-    if let Some(s) = schemes {
-        b = b.schemes(s);
-    }
-    b.run(&Runner::new())
-}
-
 impl MainEval {
     /// Starts building a main-evaluation matrix over `cfg`; by default all
     /// 16 workloads × the seven [`Scheme::MAIN_EVAL`] schemes.
@@ -725,7 +709,7 @@ fn fig15_cell(cfg: &ExperimentConfig, tables: &Tables, w: Workload, shifting: bo
         while let Some(ev) = trace.next_event() {
             if let ladder_cpu::TraceOp::Write { addr, data } = ev.op {
                 while !mc.enqueue_write(addr, *data, now) {
-                    now = mc.next_event(now).expect("controller progress");
+                    now = mc.next_wake(now).expect("controller progress");
                     mc.process(now);
                 }
                 mc.process(now);
@@ -992,7 +976,7 @@ pub fn crash_recovery(cfg: &ExperimentConfig, bench: &'static str) -> CrashRecov
             let Some(ev) = gen.next_event() else { break };
             if let ladder_cpu::TraceOp::Write { addr, data } = ev.op {
                 while !mc.enqueue_write(addr, *data, *now) {
-                    *now = mc.next_event(*now).expect("controller progress");
+                    *now = mc.next_wake(*now).expect("controller progress");
                     mc.process(*now);
                 }
                 mc.process(*now);

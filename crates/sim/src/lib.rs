@@ -18,4 +18,4 @@ mod system;
 
 pub use runner::{default_jobs, AloneIpcCache, RunSpec, Runner, RunnerStats};
 pub use scheme::Scheme;
-pub use system::{CoreResult, RunResult, SystemBuilder};
+pub use system::{CoreResult, EventCounts, RunResult, SystemBuilder};

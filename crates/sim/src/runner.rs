@@ -32,10 +32,11 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ladder_memctrl::Tables;
+use ladder_reram::Picos;
 
 use crate::experiments::{run_one, ExperimentConfig, RunOptions, Workload};
 use crate::scheme::Scheme;
-use crate::system::RunResult;
+use crate::system::{EventCounts, RunResult};
 
 /// One cell of an evaluation matrix: a scheme, a workload, and the run
 /// options. Fully describes an independent simulation.
@@ -82,6 +83,13 @@ pub struct RunnerStats {
     pub total_job_time: Duration,
     /// Per-job wall-clock times, in submission order.
     pub job_times: Vec<Duration>,
+    /// Event-kernel dispatch counters aggregated over the batch's
+    /// simulations (populated by [`Runner::run_specs`]; generic
+    /// [`Runner::run_jobs`] batches cannot see into their jobs and leave
+    /// this zero).
+    pub events: EventCounts,
+    /// Total simulated time across the batch's simulations.
+    pub sim_time: Picos,
 }
 
 impl RunnerStats {
@@ -95,10 +103,22 @@ impl RunnerStats {
         self.total_job_time.as_secs_f64() / wall
     }
 
+    /// Kernel events dispatched per simulated second, aggregated over the
+    /// batch — the discrete-event kernel's efficiency metric. Zero when
+    /// the batch simulated nothing (or ran through the generic job path).
+    pub fn events_per_sim_second(&self) -> f64 {
+        let secs = self.sim_time.as_ps() as f64 * 1e-12;
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.events.total() as f64 / secs
+        }
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
-            "runner: {} job{} on {} worker{}, wall {:.2}s, sim-time {:.2}s, est. speedup {:.2}x",
+        let mut s = format!(
+            "runner: {} job{} on {} worker{}, wall {:.2}s, cpu-time {:.2}s, est. speedup {:.2}x",
             self.jobs,
             if self.jobs == 1 { "" } else { "s" },
             self.workers,
@@ -106,7 +126,15 @@ impl RunnerStats {
             self.wall.as_secs_f64(),
             self.total_job_time.as_secs_f64(),
             self.speedup_estimate()
-        )
+        );
+        if self.events.total() > 0 {
+            s.push_str(&format!(
+                ", {} kernel events ({:.2e}/sim-s)",
+                self.events.total(),
+                self.events_per_sim_second()
+            ));
+        }
+        s
     }
 
     /// Folds another batch's stats into this one (used by experiments
@@ -117,6 +145,8 @@ impl RunnerStats {
         self.wall += other.wall;
         self.total_job_time += other.total_job_time;
         self.job_times.extend_from_slice(&other.job_times);
+        self.events.merge(&other.events);
+        self.sim_time += other.sim_time;
     }
 }
 
@@ -128,6 +158,8 @@ impl Default for RunnerStats {
             wall: Duration::ZERO,
             total_job_time: Duration::ZERO,
             job_times: Vec::new(),
+            events: EventCounts::default(),
+            sim_time: Picos::ZERO,
         }
     }
 }
@@ -237,6 +269,8 @@ impl Runner {
             wall,
             total_job_time,
             job_times,
+            events: EventCounts::default(),
+            sim_time: Picos::default(),
         };
         self.accum.lock().unwrap().merge(&stats);
         (results, stats)
@@ -249,16 +283,30 @@ impl Runner {
 
     /// Runs a batch of [`RunSpec`] simulation jobs against one shared
     /// [`Tables`] bundle, returning results in submission order.
+    ///
+    /// Besides timings, the returned stats carry the batch's aggregate
+    /// event-kernel dispatch counters and total simulated time, so
+    /// events-per-sim-second is reported alongside wall-clock speedup.
     pub fn run_specs(
         &self,
         cfg: &ExperimentConfig,
         tables: &Arc<Tables>,
         specs: &[RunSpec],
     ) -> (Vec<RunResult>, RunnerStats) {
-        self.run_jobs(specs.len(), |i| {
+        let (results, mut stats) = self.run_jobs(specs.len(), |i| {
             let spec = specs[i];
             run_one(spec.scheme, spec.workload, cfg, tables, spec.options)
-        })
+        });
+        for r in &results {
+            stats.events.merge(&r.events);
+            stats.sim_time += Picos::from_ps(r.end.as_ps());
+        }
+        {
+            let mut acc = self.accum.lock().unwrap();
+            acc.events.merge(&stats.events);
+            acc.sim_time += stats.sim_time;
+        }
+        (results, stats)
     }
 }
 
@@ -425,6 +473,21 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.jobs, 5);
         assert_eq!(a.job_times.len(), 5);
+    }
+
+    #[test]
+    fn merge_accumulates_kernel_counters() {
+        let mut a = RunnerStats::default();
+        let mut b = RunnerStats::default();
+        b.events.core_wake = 5;
+        b.events.ctrl_bank_free = 3;
+        b.sim_time = Picos::from_ps(2_000_000);
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.events.core_wake, 10);
+        assert_eq!(a.events.total(), 16);
+        assert!(a.events_per_sim_second() > 0.0);
+        assert!(a.summary().contains("kernel events"), "{}", a.summary());
     }
 
     #[test]

@@ -1,17 +1,26 @@
 //! The full-system simulator: cores, memory controller, optional
-//! wear-leveling, and the event loop connecting them.
+//! wear-leveling, and the discrete-event kernel connecting them.
+//!
+//! Simulated time advances only by popping the next scheduled event from a
+//! single [`EventQueue`] — there is no polling loop, no fixed time step and
+//! no fallback "nudge". Every component registers the precise instants at
+//! which it can next make progress: cores post the end of their compute
+//! phases, the controller registers bank frees, queue-slot frees, mode
+//! switches and dependency completions ([`CtrlWake`]), and demand-read
+//! data bursts are delivered to their cores at their exact completion
+//! times.
 
 use crate::scheme::Scheme;
 use ladder_core::LadderConfig;
 use ladder_cpu::{Core, CoreAction, CoreConfig, TraceSource};
 use ladder_energy::{EnergyBreakdown, EnergyMeter, EnergyParams};
 use ladder_memctrl::{
-    CwTrace, LatencyHistogram, MemCtrlConfig, MemStats, MemoryController, ReqId, Tables,
+    CtrlWake, CwTrace, LatencyHistogram, MemCtrlConfig, MemStats, MemoryController, ReqId, Tables,
 };
-use ladder_reram::{AddressMap, Geometry, Instant, LineAddr, Picos};
+use ladder_reram::{AddressMap, EventQueue, Geometry, Instant, LineAddr, Picos};
 use ladder_wear::{RotateHwl, SharedWearMap, WearLeveler};
 use ladder_xbar::{CrossbarParams, TimingTable};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 /// Per-core outcome of a run.
 #[derive(Debug, Clone)]
@@ -52,12 +61,27 @@ pub struct RunResult {
     pub read_histogram: LatencyHistogram,
     /// Wear map, when wear tracking was requested.
     pub wear: Option<SharedWearMap>,
+    /// Per-[`EventKind`](EventCounts) dispatch counters of the event
+    /// kernel that drove this run.
+    pub events: EventCounts,
 }
 
 impl RunResult {
     /// IPC of core 0 (the single-programmed metric).
     pub fn ipc0(&self) -> f64 {
         self.cores.first().map(|c| c.ipc).unwrap_or(0.0)
+    }
+
+    /// Kernel events dispatched per simulated second — the event kernel's
+    /// efficiency metric (a polled loop revisits every component at every
+    /// instant; the kernel touches only what is scheduled).
+    pub fn events_per_sim_second(&self) -> f64 {
+        let secs = self.end.as_ps() as f64 * 1e-12;
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.events.total() as f64 / secs
+        }
     }
 
     /// Renders a human-readable report of everything this run measured.
@@ -120,6 +144,12 @@ impl RunResult {
             let _ = writeln!(out, "  counter estimate − exact (mean): {:.1}", t.mean_diff());
         }
         let _ = writeln!(out, "  simulated time: {:.1} us", self.end.as_ps() as f64 / 1e6);
+        let _ = writeln!(
+            out,
+            "  kernel: {} events dispatched ({:.0} per simulated second)",
+            self.events.total(),
+            self.events_per_sim_second()
+        );
         out
     }
 
@@ -264,14 +294,19 @@ impl SystemBuilder {
             })
             .collect();
 
-        let mut sim = SystemLoop {
+        let mut sim = EventKernel {
             mc,
             leveler: self.leveler,
             hwl: self.hwl,
             pending_reads: HashMap::new(),
-            completions: BinaryHeap::new(),
             pending_migrations: VecDeque::new(),
             core_finish: vec![None; cores.len()],
+            events: EventQueue::new(),
+            core_wake: vec![None; cores.len()],
+            waiting: vec![false; cores.len()],
+            last_process: None,
+            ctrl_dirty: false,
+            counts: EventCounts::default(),
         };
         let end = sim.run(&mut cores);
 
@@ -309,38 +344,111 @@ impl SystemBuilder {
             fnw: sim.mc.policy().fnw_stats(),
             read_histogram: sim.mc.read_histogram().clone(),
             wear,
+            events: sim.counts,
         }
     }
 }
 
-/// Min-heap entry for read completions.
-#[derive(Debug, PartialEq, Eq)]
-struct Completion(Instant, ReqId);
+/// What a scheduled kernel event means when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A core's compute phase ends and its next memory op is due.
+    CoreWake(usize),
+    /// A demand read's data burst finishes; deliver it to its core.
+    ReadComplete(ReqId),
+    /// A controller-registered wake (see [`CtrlWake`]).
+    Ctrl(CtrlWake),
+}
 
-impl Ord for Completion {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse for a min-heap.
-        other.0.cmp(&self.0).then(other.1.cmp(&self.1))
+/// Per-event-kind dispatch counters for one run of the event kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Core compute phases ending.
+    pub core_wake: u64,
+    /// Demand-read completions delivered to cores.
+    pub read_complete: u64,
+    /// Controller wakes: new work arrived in a queue.
+    pub ctrl_work_arrived: u64,
+    /// Controller wakes: a bank finished its operation.
+    pub ctrl_bank_free: u64,
+    /// Controller wakes: a write-queue slot freed.
+    pub ctrl_queue_slot_free: u64,
+    /// Controller wakes: a queued write's last dependency read completed.
+    pub ctrl_dep_ready: u64,
+    /// Controller wakes: a channel switched read/write-drain mode.
+    pub ctrl_mode_switch: u64,
+}
+
+impl EventCounts {
+    /// Total events dispatched.
+    pub fn total(&self) -> u64 {
+        self.core_wake
+            + self.read_complete
+            + self.ctrl_work_arrived
+            + self.ctrl_bank_free
+            + self.ctrl_queue_slot_free
+            + self.ctrl_dep_ready
+            + self.ctrl_mode_switch
+    }
+
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &EventCounts) {
+        self.core_wake += other.core_wake;
+        self.read_complete += other.read_complete;
+        self.ctrl_work_arrived += other.ctrl_work_arrived;
+        self.ctrl_bank_free += other.ctrl_bank_free;
+        self.ctrl_queue_slot_free += other.ctrl_queue_slot_free;
+        self.ctrl_dep_ready += other.ctrl_dep_ready;
+        self.ctrl_mode_switch += other.ctrl_mode_switch;
+    }
+
+    fn count(&mut self, ev: EventKind) {
+        match ev {
+            EventKind::CoreWake(_) => self.core_wake += 1,
+            EventKind::ReadComplete(_) => self.read_complete += 1,
+            EventKind::Ctrl(CtrlWake::WorkArrived) => self.ctrl_work_arrived += 1,
+            EventKind::Ctrl(CtrlWake::BankFree) => self.ctrl_bank_free += 1,
+            EventKind::Ctrl(CtrlWake::QueueSlotFree) => self.ctrl_queue_slot_free += 1,
+            EventKind::Ctrl(CtrlWake::DepReady) => self.ctrl_dep_ready += 1,
+            EventKind::Ctrl(CtrlWake::ModeSwitch) => self.ctrl_mode_switch += 1,
+        }
     }
 }
 
-impl PartialOrd for Completion {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-struct SystemLoop {
+/// The discrete-event kernel tying cores, controller and wear-leveling
+/// together.
+///
+/// Time advances only from event to event: the pump pops the earliest
+/// scheduled `(Instant, EventKind)` (FIFO among ties, so runs are
+/// deterministic), dispatches it, absorbs any wakes the dispatch
+/// registered, and repeats until the queue is empty — at which point every
+/// core must have finished. There is no time nudge and no iteration guard:
+/// a component that cannot make progress without an external state change
+/// simply has no event scheduled, and the state change that unblocks it
+/// schedules one.
+struct EventKernel {
     mc: MemoryController,
     leveler: Option<Box<dyn WearLeveler>>,
     hwl: Option<RotateHwl>,
     pending_reads: HashMap<u64, usize>,
-    completions: BinaryHeap<Completion>,
     pending_migrations: VecDeque<LineAddr>,
     core_finish: Vec<Option<Instant>>,
+    events: EventQueue<EventKind>,
+    /// Earliest pending [`EventKind::CoreWake`] per core, for dedup.
+    core_wake: Vec<Option<Instant>>,
+    /// Cores whose last drive ended blocked on the controller (rejected
+    /// request, full MSHRs or a critical read); re-driven after each
+    /// controller dispatch.
+    waiting: Vec<bool>,
+    /// Instant of the most recent `MemoryController::process` call, for
+    /// coalescing same-instant controller wakes into one dispatch.
+    last_process: Option<Instant>,
+    /// Whether kernel-side enqueues happened since `last_process`.
+    ctrl_dirty: bool,
+    counts: EventCounts,
 }
 
-impl SystemLoop {
+impl EventKernel {
     fn map_addr(&self, logical: LineAddr) -> LineAddr {
         match &self.leveler {
             Some(l) => l.map(logical),
@@ -350,125 +458,149 @@ impl SystemLoop {
 
     fn run(&mut self, cores: &mut [Core]) -> Instant {
         let mut now = Instant::ZERO;
-        let mut guard: u64 = 0;
-        loop {
-            guard += 1;
-            assert!(guard < 2_000_000_000, "system loop runaway");
-            self.mc.process(now);
-            // Collect newly scheduled completions.
-            for (id, at) in self.mc.take_completed_reads() {
-                self.completions.push(Completion(at, id));
-            }
-            // Deliver due completions.
-            while let Some(Completion(at, id)) = self.completions.peek() {
-                if *at > now {
-                    break;
+        for i in 0..cores.len() {
+            self.drive_core(cores, i, now);
+        }
+        self.absorb();
+        while let Some((t, ev)) = self.events.pop() {
+            assert!(t >= now, "event kernel time went backwards: {t} after {now}");
+            now = t;
+            self.counts.count(ev);
+            match ev {
+                EventKind::CoreWake(i) => {
+                    if self.core_wake[i] == Some(t) {
+                        self.core_wake[i] = None;
+                    }
+                    self.drive_core(cores, i, now);
                 }
-                let (at, id) = (*at, *id);
-                self.completions.pop();
-                if let Some(core_idx) = self.pending_reads.remove(&id.0) {
-                    cores[core_idx].on_read_completed(id.0, at);
+                EventKind::ReadComplete(id) => {
+                    if let Some(core_idx) = self.pending_reads.remove(&id.0) {
+                        cores[core_idx].on_read_completed(id.0, now);
+                        self.drive_core(cores, core_idx, now);
+                    }
                 }
-            }
-            // Drain deferred migration writes opportunistically.
-            while let Some(&m) = self.pending_migrations.front() {
-                if !self.mc.can_enqueue_write(m) {
-                    break;
-                }
-                let data = self.mc.store().read(m);
-                let ok = self.mc.enqueue_write(m, data, now);
-                debug_assert!(ok);
-                self.pending_migrations.pop_front();
-            }
-            // Let every core act.
-            let mut next_core_event: Option<Instant> = None;
-            let mut all_finished = true;
-            for (i, core) in cores.iter_mut().enumerate() {
-                loop {
-                    match core.next_action(now) {
-                        CoreAction::Finished => {
-                            if self.core_finish[i].is_none() {
-                                self.core_finish[i] = Some(now);
-                            }
-                            break;
-                        }
-                        CoreAction::Idle { until } => {
-                            all_finished = false;
-                            if let Some(t) = until {
-                                next_core_event = Some(match next_core_event {
-                                    Some(b) => b.min(t),
-                                    None => t,
-                                });
-                            }
-                            break;
-                        }
-                        CoreAction::IssueRead { addr } => {
-                            all_finished = false;
-                            let phys = self.map_addr(addr);
-                            match self.mc.enqueue_read(phys, now) {
-                                Some(id) => {
-                                    self.pending_reads.insert(id.0, i);
-                                    core.on_read_issued(id.0, now);
-                                }
-                                None => {
-                                    core.on_read_rejected(now);
-                                    break;
-                                }
-                            }
-                        }
-                        CoreAction::IssueWrite { addr, data } => {
-                            all_finished = false;
-                            let stored = match &mut self.hwl {
-                                Some(h) => h.rotate_for_write(addr, &data),
-                                None => *data,
-                            };
-                            let migrations = match &mut self.leveler {
-                                Some(l) => l.note_write(addr),
-                                None => Vec::new(),
-                            };
-                            let phys = self.map_addr(addr);
-                            if self.mc.enqueue_write(phys, stored, now) {
-                                core.on_write_accepted(now);
-                                self.pending_migrations.extend(migrations);
-                            } else {
-                                core.on_write_rejected(now);
-                                break;
-                            }
-                        }
+                EventKind::Ctrl(_) => {
+                    // Several controller wakes can land on one instant (a
+                    // burst of enqueues, a bank free plus a dep ready);
+                    // one process() serves them all.
+                    if self.ctrl_dirty || self.last_process != Some(now) {
+                        self.process_ctrl(cores, now);
                     }
                 }
             }
-            if all_finished && self.completions.is_empty() {
+            self.absorb();
+        }
+        assert!(
+            cores.iter().all(|c| c.is_finished()),
+            "event queue drained with unfinished cores (scheduling bug)"
+        );
+        self.mc.finish(now)
+    }
+
+    /// Runs the controller at `now`, then retries everything a freed queue
+    /// slot or completed operation may have unblocked: deferred migration
+    /// writes and cores waiting on the controller.
+    fn process_ctrl(&mut self, cores: &mut [Core], now: Instant) {
+        self.mc.process(now);
+        self.last_process = Some(now);
+        self.ctrl_dirty = false;
+        while let Some(&m) = self.pending_migrations.front() {
+            if !self.mc.can_enqueue_write(m) {
                 break;
             }
-            // Advance time to the next interesting instant.
-            let mut next = next_core_event;
-            let mut fold = |t: Option<Instant>| {
-                if let Some(t) = t {
-                    next = Some(match next {
-                        Some(b) => b.min(t),
-                        None => t,
-                    });
+            let data = self.mc.store().read(m);
+            let ok = self.mc.enqueue_write(m, data, now);
+            debug_assert!(ok);
+            self.ctrl_dirty = true;
+            self.pending_migrations.pop_front();
+        }
+        for i in 0..cores.len() {
+            if self.waiting[i] {
+                self.waiting[i] = false;
+                self.drive_core(cores, i, now);
+            }
+        }
+    }
+
+    /// Transfers wakes and read completions the controller registered
+    /// during the last dispatch into the kernel's event queue.
+    fn absorb(&mut self) {
+        for (at, wake) in self.mc.take_wakes() {
+            self.events.schedule(at, EventKind::Ctrl(wake));
+        }
+        for (id, at) in self.mc.take_completed_reads() {
+            self.events.schedule(at, EventKind::ReadComplete(id));
+        }
+    }
+
+    fn schedule_core_wake(&mut self, i: usize, t: Instant) {
+        // A core's compute cursor only moves forward, so an already
+        // scheduled wake at or before `t` covers this request.
+        if self.core_wake[i].is_none_or(|s| t < s) {
+            self.core_wake[i] = Some(t);
+            self.events.schedule(t, EventKind::CoreWake(i));
+        }
+    }
+
+    /// Advances core `i` through every action it can take at `now`,
+    /// scheduling its next wake or marking it as waiting on the
+    /// controller.
+    fn drive_core(&mut self, cores: &mut [Core], i: usize, now: Instant) {
+        loop {
+            match cores[i].next_action(now) {
+                CoreAction::Finished => {
+                    if self.core_finish[i].is_none() {
+                        self.core_finish[i] = Some(now);
+                    }
+                    return;
                 }
-            };
-            fold(self.mc.next_event(now));
-            fold(self.completions.peek().map(|c| c.0));
-            match next {
-                Some(t) if t > now => now = t,
-                Some(_) => {
-                    // Same-instant progress (e.g. a completion delivered
-                    // above unblocked a core); loop again at `now`.
+                CoreAction::Idle { until } => {
+                    match until {
+                        Some(t) => self.schedule_core_wake(i, t),
+                        // Waiting on an external completion or queue
+                        // space; a ReadComplete or controller dispatch
+                        // re-drives this core.
+                        None => self.waiting[i] = true,
+                    }
+                    return;
                 }
-                None => {
-                    // Nothing scheduled: cores must be blocked on memory
-                    // that has work but needs a mode change, or on queue
-                    // space that a process() call will free. Nudge time by
-                    // one controller transaction to avoid a livelock.
-                    now += Picos::from_ns(1.0);
+                CoreAction::IssueRead { addr } => {
+                    let phys = self.map_addr(addr);
+                    match self.mc.enqueue_read(phys, now) {
+                        Some(id) => {
+                            self.ctrl_dirty = true;
+                            self.pending_reads.insert(id.0, i);
+                            cores[i].on_read_issued(id.0, now);
+                        }
+                        None => {
+                            cores[i].on_read_rejected(now);
+                            self.waiting[i] = true;
+                            return;
+                        }
+                    }
+                }
+                CoreAction::IssueWrite { addr, data } => {
+                    let stored = match &mut self.hwl {
+                        Some(h) => h.rotate_for_write(addr, &data),
+                        None => *data,
+                    };
+                    let migrations = match &mut self.leveler {
+                        Some(l) => l.note_write(addr),
+                        None => Vec::new(),
+                    };
+                    let phys = self.map_addr(addr);
+                    if self.mc.enqueue_write(phys, stored, now) {
+                        self.ctrl_dirty = true;
+                        cores[i].on_write_accepted(now);
+                        self.pending_migrations.extend(migrations);
+                    } else {
+                        cores[i].on_write_rejected(now);
+                        self.waiting[i] = true;
+                        return;
+                    }
                 }
             }
         }
-        self.mc.finish(now)
     }
 }
 
@@ -516,6 +648,56 @@ mod tests {
         assert_eq!(r.mem.data_writes, 100);
         assert_eq!(r.mem.demand_reads, 200);
         assert!(r.energy.total_pj() > 0.0);
+        // The event kernel accounts every dispatch.
+        assert!(r.events.core_wake > 0);
+        assert_eq!(r.events.read_complete, 200);
+        assert!(r.events.ctrl_work_arrived > 0);
+        assert!(r.events.ctrl_bank_free > 0);
+        assert!(r.events_per_sim_second() > 0.0);
+    }
+
+    #[test]
+    fn drain_mode_switch_progresses_without_nudge() {
+        // Regression for the scenario the old polled loop papered over
+        // with a 1 ns time nudge: every core is blocked on a full write
+        // queue, and no queue slot can free until the controller switches
+        // into write-drain mode. Nothing external is scheduled at that
+        // point — the polled loop found no candidate instant and had to
+        // invent one. The event kernel must drain purely from registered
+        // wakes (WorkArrived → ModeSwitch → QueueSlotFree), with no nudge
+        // and no iteration guard.
+        let (lt, bt) = tables();
+        let mut b = SystemBuilder::new(Scheme::Baseline, lt, bt);
+        b.mem_config(MemCtrlConfig {
+            rdq_capacity: 4,
+            wrq_capacity: 4,
+            drain_high: 4,
+            drain_low: 1,
+            spill_capacity: 4,
+            ..MemCtrlConfig::default()
+        });
+        for c in 0..2u64 {
+            let events = (0..40u64)
+                .map(|i| MemEvent {
+                    // Zero compute gap: the core re-offers its write the
+                    // moment the previous one is accepted.
+                    gap_instructions: 0,
+                    op: TraceOp::Write {
+                        addr: LineAddr::new((40_000 + c * 5_000) * 64 + i),
+                        data: Box::new([(i % 251) as u8; 64]),
+                    },
+                })
+                .collect();
+            b.core(Box::new(VecTrace::new("writes", events)), 4);
+        }
+        let r = b.run();
+        assert_eq!(r.mem.data_writes, 80, "every write must be serviced");
+        assert!(r.mem.drain_switches > 0, "scenario must exercise the drain");
+        assert!(r.events.ctrl_mode_switch > 0);
+        assert!(r.events.ctrl_queue_slot_free > 0);
+        for c in &r.cores {
+            assert!(c.retired > 0);
+        }
     }
 
     #[test]

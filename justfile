@@ -16,3 +16,13 @@ clippy:
 # Regenerate the paper's main evaluation (set jobs, e.g. `just main-eval 8`).
 main-eval jobs="4":
     cargo run --release -p ladder-bench --bin main_eval -- --jobs {{jobs}}
+
+# Quick-mode smoke run of every figure/table binary (what verify.sh runs
+# after the test suite).
+smoke:
+    cargo build --release -p ladder-bench --offline
+    for bin in fig2 fig4b fig11 fig15 main_eval lifetime variability tables \
+               ablations crash mna_table extension; do \
+        echo "-> $bin"; \
+        ./target/release/$bin --quick --jobs 2 >/dev/null; \
+    done

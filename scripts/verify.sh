@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: release build, tests, clippy-clean.
+# Tier-1 verification gate: release build, tests, clippy-clean, plus a
+# quick-mode smoke run of every figure/table binary.
 # The workspace is fully path-local, so everything runs with --offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,5 +13,15 @@ cargo test -q --workspace --offline
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Every ladder-bench binary must at least complete a scaled-down run:
+# this catches panics in experiment drivers that unit tests don't reach
+# (arg parsing, figure assembly, the event kernel under each scheme).
+echo "==> smoke: ladder-bench binaries (--quick --jobs 2)"
+for bin in fig2 fig4b fig11 fig15 main_eval lifetime variability tables \
+           ablations crash mna_table extension; do
+    echo "  -> $bin"
+    ./target/release/"$bin" --quick --jobs 2 >/dev/null
+done
 
 echo "verify: OK"

@@ -50,6 +50,8 @@
 pub use ladder_memctrl::Tables;
 /// The parallel experiment runner and its job/statistics types.
 pub use ladder_sim::{AloneIpcCache, RunSpec, Runner, RunnerStats};
+/// Per-event-kind dispatch counters of the discrete-event kernel.
+pub use ladder_sim::EventCounts;
 
 pub use ladder_baselines as baselines;
 pub use ladder_core as core;

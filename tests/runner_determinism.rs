@@ -37,6 +37,12 @@ fn parallel_main_eval_is_bit_identical_to_sequential() {
 
     assert_eq!(seq.stats.jobs, par.stats.jobs, "same batch either way");
     assert_eq!(par.stats.workers, 4);
+    // The event kernel itself is deterministic: the same batch dispatches
+    // exactly the same number of each event kind at any worker count, and
+    // simulates the same total time.
+    assert_eq!(seq.stats.events, par.stats.events, "kernel dispatch counts diverged");
+    assert!(seq.stats.events.total() > 0, "kernel counters were never absorbed");
+    assert_eq!(seq.stats.sim_time, par.stats.sim_time);
     assert_series_identical(&seq.fig16_speedup(), &par.fig16_speedup());
     assert_series_identical(&seq.fig12_write_service(), &par.fig12_write_service());
     assert_series_identical(&seq.fig13_read_latency(), &par.fig13_read_latency());
