@@ -2,8 +2,8 @@
 //! operations per second the simulator sustains under the heaviest scheme.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ladder_memctrl::{standard_tables, LadderPolicy, MemCtrlConfig, MemoryController};
 use ladder_core::LadderVariant;
+use ladder_memctrl::{standard_tables, LadderPolicy, MemCtrlConfig, MemoryController};
 use ladder_reram::{AddressMap, Geometry, Instant, LineAddr};
 use ladder_xbar::TableConfig;
 use std::hint::black_box;

@@ -13,7 +13,11 @@ fn line(seed: u8) -> [u8; 64] {
 }
 
 fn bench_service_write(c: &mut Criterion) {
-    for variant in [LadderVariant::Basic, LadderVariant::Est, LadderVariant::Hybrid] {
+    for variant in [
+        LadderVariant::Basic,
+        LadderVariant::Est,
+        LadderVariant::Hybrid,
+    ] {
         let map = AddressMap::new(Geometry::default());
         let mut engine = LadderEngine::new(LadderConfig::for_variant(variant), map);
         let mut store = LineStore::new();

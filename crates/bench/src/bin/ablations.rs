@@ -23,7 +23,10 @@ fn main() {
     let (pts, cancelled) = fnw_ablation(&cfg, w, &runner);
     println!("{}", render(&pts));
     if let Some(c) = cancelled {
-        println!("flips cancelled by the counting constraint: {:.2}%\n", c * 100.0);
+        println!(
+            "flips cancelled by the counting constraint: {:.2}%\n",
+            c * 100.0
+        );
     }
 
     println!("== low-precision rows (LADDER-Hybrid, astar) ==");

@@ -6,7 +6,10 @@ use ladder_xbar::{TableConfig, TimingTable};
 
 fn main() {
     let table = TimingTable::generate(&TableConfig::ladder_default()).expect("table");
-    for (c_band, label) in [(0usize, "(a) WL pattern all '0's"), (7, "(b) WL pattern all '1's")] {
+    for (c_band, label) in [
+        (0usize, "(a) WL pattern all '0's"),
+        (7, "(b) WL pattern all '1's"),
+    ] {
         println!("Figure 11{label} — RESET latency (ns), rows = WL band, cols = BL band");
         print!("{:>10}", "WL\\BL");
         for b in 0..table.bands() {

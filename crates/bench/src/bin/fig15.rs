@@ -8,9 +8,15 @@ fn main() {
     let cfg = config_from_args();
     let runner = runner_from_args();
     println!("Figure 15 — mean C^w_lrs difference (Est − accurate)");
-    println!("{:<9}{:>20}{:>18}", "workload", "(a) no shifting", "(b) shifting");
+    println!(
+        "{:<9}{:>20}{:>18}",
+        "workload", "(a) no shifting", "(b) shifting"
+    );
     for r in fig15(&cfg, &runner) {
-        println!("{:<9}{:>20.1}{:>18.1}", r.workload, r.diff_without_shift, r.diff_with_shift);
+        println!(
+            "{:<9}{:>20.1}{:>18.1}",
+            r.workload, r.diff_without_shift, r.diff_with_shift
+        );
     }
     report_runner(&runner);
 }

@@ -8,11 +8,17 @@ fn main() {
     let cfg = config_from_args();
     let runner = runner_from_args();
     println!("Figure 2 — normalized IPC (worst-case = 1.0)");
-    println!("{:<8}{:>16}{:>22}", "bench", "Location-aware", "Data/Location-aware");
+    println!(
+        "{:<8}{:>16}{:>22}",
+        "bench", "Location-aware", "Data/Location-aware"
+    );
     let rows = fig2(&cfg, &runner);
     let (mut sl, mut sd) = (0.0, 0.0);
     for r in &rows {
-        println!("{:<8}{:>16.3}{:>22.3}", r.bench, r.location_aware, r.data_location_aware);
+        println!(
+            "{:<8}{:>16.3}{:>22.3}",
+            r.bench, r.location_aware, r.data_location_aware
+        );
         sl += r.location_aware;
         sd += r.data_location_aware;
     }

@@ -24,11 +24,26 @@ fn main() {
     );
     let eval = MainEval::builder(&cfg).run(&runner);
     eprintln!("{}", eval.stats.summary());
-    println!("Figure 12 — normalized write service time\n{}", eval.fig12_write_service().to_table());
-    println!("Figure 13 — normalized read latency\n{}", eval.fig13_read_latency().to_table());
-    println!("Figure 14a — additional reads (fraction of demand reads)\n{}", eval.fig14a_additional_reads().to_table());
-    println!("Figure 14b — additional writes (fraction of data writes)\n{}", eval.fig14b_additional_writes().to_table());
-    println!("Figure 16 — speedup over baseline\n{}", eval.fig16_speedup().to_table());
+    println!(
+        "Figure 12 — normalized write service time\n{}",
+        eval.fig12_write_service().to_table()
+    );
+    println!(
+        "Figure 13 — normalized read latency\n{}",
+        eval.fig13_read_latency().to_table()
+    );
+    println!(
+        "Figure 14a — additional reads (fraction of demand reads)\n{}",
+        eval.fig14a_additional_reads().to_table()
+    );
+    println!(
+        "Figure 14b — additional writes (fraction of data writes)\n{}",
+        eval.fig14b_additional_writes().to_table()
+    );
+    println!(
+        "Figure 16 — speedup over baseline\n{}",
+        eval.fig16_speedup().to_table()
+    );
     println!("Figure 17 — normalized dynamic energy (read + write = total)");
     for (wl, cols) in eval.fig17_energy() {
         print!("{wl:<9}");
@@ -46,10 +61,19 @@ fn main() {
         let dump = |name: &str, csv: String| {
             std::fs::write(dir.join(name), csv).expect("write csv");
         };
-        dump("fig12_write_service.csv", eval.fig12_write_service().to_csv());
+        dump(
+            "fig12_write_service.csv",
+            eval.fig12_write_service().to_csv(),
+        );
         dump("fig13_read_latency.csv", eval.fig13_read_latency().to_csv());
-        dump("fig14a_additional_reads.csv", eval.fig14a_additional_reads().to_csv());
-        dump("fig14b_additional_writes.csv", eval.fig14b_additional_writes().to_csv());
+        dump(
+            "fig14a_additional_reads.csv",
+            eval.fig14a_additional_reads().to_csv(),
+        );
+        dump(
+            "fig14b_additional_writes.csv",
+            eval.fig14b_additional_writes().to_csv(),
+        );
         dump("fig16_speedup.csv", eval.fig16_speedup().to_csv());
         eprintln!("CSV written to {}", dir.display());
     }

@@ -46,6 +46,10 @@ fn main() {
     println!("\nworst analytic/MNA ratio: {worst_ratio:.2}x");
     println!(
         "analytic conservative everywhere: {}",
-        if conservative { "yes" } else { "NO — check the estimator" }
+        if conservative {
+            "yes"
+        } else {
+            "NO — check the estimator"
+        }
     );
 }

@@ -14,28 +14,51 @@ fn main() {
         println!("  dimensions: {}x{}", p.rows, p.cols);
         println!("  selected cells: {}", p.selected_cells);
         println!("  LRS/HRS resistance: {:.0} / {:.0} ohm", p.r_lrs, p.r_hrs);
-        println!("  input/output/wire resistance: {} / {} / {} ohm", p.r_input, p.r_output, p.r_wire);
+        println!(
+            "  input/output/wire resistance: {} / {} / {} ohm",
+            p.r_input, p.r_output, p.r_wire
+        );
         println!("  selector non-linearity: {}", p.selector_nonlinearity);
-        println!("  write/bias voltage: {} / {} V\n", p.write_voltage, p.bias_voltage);
+        println!(
+            "  write/bias voltage: {} / {} V\n",
+            p.write_voltage, p.bias_voltage
+        );
     }
     if matches!(which.as_str(), "all" | "table2") {
         let g = Geometry::default();
         let t = DeviceTiming::default();
         let m = MemCtrlConfig::default();
         println!("Table 2 — architecture parameters");
-        println!("  memory: {} channels, {} ranks/channel, {} banks/rank, {} mats/bank, {}x{} mats",
-            g.channels, g.ranks_per_channel, g.banks_per_rank, g.mats_per_bank, g.mat_rows, g.mat_cols);
-        println!("  capacity: {} GiB", g.capacity_bytes() as f64 / (1u64 << 30) as f64);
-        println!("  controller: {}-entry RDQ, {}-entry WRQ, drain at {}/{}",
-            m.rdq_capacity, m.wrq_capacity, m.drain_high, m.wrq_capacity);
-        println!("  timing: tCL {} tRCD {} tBURST {}, tWR 29-658 ns (variable)\n",
-            t.t_cl, t.t_rcd, t.t_burst);
+        println!(
+            "  memory: {} channels, {} ranks/channel, {} banks/rank, {} mats/bank, {}x{} mats",
+            g.channels,
+            g.ranks_per_channel,
+            g.banks_per_rank,
+            g.mats_per_bank,
+            g.mat_rows,
+            g.mat_cols
+        );
+        println!(
+            "  capacity: {} GiB",
+            g.capacity_bytes() as f64 / (1u64 << 30) as f64
+        );
+        println!(
+            "  controller: {}-entry RDQ, {}-entry WRQ, drain at {}/{}",
+            m.rdq_capacity, m.wrq_capacity, m.drain_high, m.wrq_capacity
+        );
+        println!(
+            "  timing: tCL {} tRCD {} tBURST {}, tWR 29-658 ns (variable)\n",
+            t.t_cl, t.t_rcd, t.t_burst
+        );
     }
     if matches!(which.as_str(), "all" | "table3") {
         println!("Table 3 — workloads");
         for b in SINGLE_BENCHMARKS {
             let p = profile_of(b);
-            println!("  {:<8} rpki {:>5.1}  wpki {:>4.1}  ws {:>6} pages", b, p.rpki, p.wpki, p.working_set_pages);
+            println!(
+                "  {:<8} rpki {:>5.1}  wpki {:>4.1}  ws {:>6} pages",
+                b, p.rpki, p.wpki, p.working_set_pages
+            );
         }
         for (m, members) in MIXES {
             println!("  {:<8} {}", m, members.join("-"));

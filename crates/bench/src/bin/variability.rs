@@ -7,7 +7,11 @@ use ladder_sim::experiments::{variability, Workload};
 fn main() {
     let cfg = config_from_args();
     let runner = runner_from_args();
-    for w in [Workload::Single("astar"), Workload::Single("mcf"), Workload::Mix("mix-1")] {
+    for w in [
+        Workload::Single("astar"),
+        Workload::Single("mcf"),
+        Workload::Mix("mix-1"),
+    ] {
         let v = variability(&cfg, w, &runner);
         println!(
             "{:<8} speedup full-range {:.3}, shrunk-2x {:.3} -> retains {:.0}% of the gain",

@@ -13,43 +13,103 @@
 //! | `lifetime` | Section 6.4 — wear-leveling and lifetime |
 //! | `variability` | Section 7 — shrunk latency range |
 //! | `tables` | Tables 1–4 — configuration and overheads |
+//! | `faults` | Extension — raw BER sweep: P&V retries, ECC, data loss |
 //!
 //! Criterion micro-benchmarks for the hot kernels live under `benches/`.
 
 use ladder_sim::experiments::ExperimentConfig;
 use ladder_sim::Runner;
 
-/// Parses `--quick`, `--instructions N` and `--seed S` from the command
-/// line into an experiment configuration (defaults: 1 M instructions,
-/// seed 2021). `--quick` starts from [`ExperimentConfig::quick`] — the
-/// smoke-test scale CI uses — and an explicit `--instructions` still
-/// overrides it.
+/// The flags every binary accepts, printed when parsing fails.
+pub const USAGE: &str = "usage: [--quick] [--instructions N] [--seed S] [--jobs N] [--csv DIR]
+  --quick           smoke-test scale (120 k instructions per core)
+  --instructions N  instructions per core (overrides --quick)
+  --seed S          master workload seed (default 2021)
+  --jobs N          worker threads (default: LADDER_JOBS or all cores)
+  --csv DIR         also write CSV output into DIR (main_eval only)";
+
+/// Parses the experiment configuration out of an argument list
+/// (defaults: 1 M instructions, seed 2021). `--quick` starts from
+/// [`ExperimentConfig::quick`] — the smoke-test scale CI uses — and an
+/// explicit `--instructions` still overrides it.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on malformed arguments.
-pub fn config_from_args() -> ExperimentConfig {
-    let args: Vec<String> = std::env::args().collect();
-    let mut cfg = if quick_requested() {
+/// Returns a message naming the offending argument on an unknown flag, a
+/// flag missing its value, or an unparsable value.
+pub fn parse_config(args: &[String]) -> Result<ExperimentConfig, String> {
+    let mut cfg = if args.iter().any(|a| a == "--quick") {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::default()
     };
-    let mut i = 1;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--instructions" => {
-                cfg.instructions_per_core = args[i + 1].parse().expect("instruction count");
+                cfg.instructions_per_core = flag_value(args, i)?;
                 i += 2;
             }
             "--seed" => {
-                cfg.seed = args[i + 1].parse().expect("seed");
+                cfg.seed = flag_value(args, i)?;
                 i += 2;
             }
-            _ => i += 1,
+            "--jobs" | "--csv" => {
+                // `--jobs` is validated by parse_jobs and `--csv` is read
+                // by main_eval; here just require the value to exist.
+                let _: String = flag_value(args, i)?;
+                i += 2;
+            }
+            "--quick" => i += 1,
+            other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    cfg
+    Ok(cfg)
+}
+
+/// Parses `--jobs N` out of an argument list. `Ok(None)` means the flag was
+/// absent (fall back to `LADDER_JOBS` / `available_parallelism()`).
+///
+/// # Errors
+///
+/// Returns a message when `--jobs` is missing its value or the value does
+/// not parse.
+pub fn parse_jobs(args: &[String]) -> Result<Option<usize>, String> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--jobs" {
+            return flag_value(args, i).map(Some);
+        }
+        i += 1;
+    }
+    Ok(None)
+}
+
+/// The value following `args[i]`, parsed; errors name the flag instead of
+/// indexing out of bounds.
+fn flag_value<T: std::str::FromStr>(args: &[String], i: usize) -> Result<T, String> {
+    let flag = &args[i];
+    let raw = args
+        .get(i + 1)
+        .ok_or_else(|| format!("`{flag}` is missing its value"))?;
+    raw.parse()
+        .map_err(|_| format!("`{flag}` value `{raw}` is not valid"))
+}
+
+fn cli_args() -> Vec<String> {
+    std::env::args().skip(1).collect()
+}
+
+fn usage_exit(err: &str) -> ! {
+    eprintln!("error: {err}\n{USAGE}");
+    std::process::exit(2)
+}
+
+/// Parses `--quick`, `--instructions N` and `--seed S` from the command
+/// line into an experiment configuration. Unknown flags and malformed or
+/// missing values print a usage message and exit with status 2.
+pub fn config_from_args() -> ExperimentConfig {
+    parse_config(&cli_args()).unwrap_or_else(|e| usage_exit(&e))
 }
 
 /// Whether `--quick` was passed on the command line. Binaries whose
@@ -62,21 +122,15 @@ pub fn quick_requested() -> bool {
 /// Builds the experiment [`Runner`] from the command line: `--jobs N`
 /// wins, then the `LADDER_JOBS` environment variable, then
 /// `available_parallelism()`. Parallel execution is byte-identical to
-/// `--jobs 1` — results always come back in submission order.
-///
-/// # Panics
-///
-/// Panics on a malformed `--jobs` value.
+/// `--jobs 1` — results always come back in submission order. A malformed
+/// or missing `--jobs` value prints a usage message and exits with
+/// status 2.
 pub fn runner_from_args() -> Runner {
-    let args: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    while i + 1 < args.len() {
-        if args[i] == "--jobs" {
-            return Runner::with_jobs(args[i + 1].parse().expect("worker count"));
-        }
-        i += 1;
+    match parse_jobs(&cli_args()) {
+        Ok(Some(n)) => Runner::with_jobs(n),
+        Ok(None) => Runner::new(),
+        Err(e) => usage_exit(&e),
     }
-    Runner::new()
 }
 
 /// Prints the runner's cumulative batch statistics to stderr (so figure
@@ -85,5 +139,73 @@ pub fn report_runner(runner: &Runner) {
     let stats = runner.cumulative();
     if stats.jobs > 0 {
         eprintln!("{}", stats.summary());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let cfg = parse_config(&[]).unwrap();
+        assert_eq!(cfg.instructions_per_core, 1_000_000);
+        assert_eq!(cfg.seed, 2021);
+        assert_eq!(parse_jobs(&[]).unwrap(), None);
+    }
+
+    #[test]
+    fn quick_scales_down_but_instructions_override() {
+        let cfg = parse_config(&args(&["--quick"])).unwrap();
+        assert_eq!(cfg.instructions_per_core, 120_000);
+        let cfg = parse_config(&args(&["--quick", "--instructions", "777"])).unwrap();
+        assert_eq!(cfg.instructions_per_core, 777);
+    }
+
+    #[test]
+    fn all_flags_parse_together() {
+        let cfg = parse_config(&args(&[
+            "--seed",
+            "7",
+            "--jobs",
+            "3",
+            "--instructions",
+            "42",
+        ]))
+        .unwrap();
+        assert_eq!((cfg.seed, cfg.instructions_per_core), (7, 42));
+        assert_eq!(
+            parse_jobs(&args(&["--seed", "7", "--jobs", "3"])).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = parse_config(&args(&["--bogus"])).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn trailing_flag_reports_missing_value() {
+        for trailing in ["--seed", "--instructions"] {
+            let err = parse_config(&args(&[trailing])).unwrap_err();
+            assert!(err.contains("missing its value"), "{err}");
+            assert!(err.contains(trailing), "{err}");
+        }
+        let err = parse_jobs(&args(&["--jobs"])).unwrap_err();
+        assert!(err.contains("missing its value"), "{err}");
+    }
+
+    #[test]
+    fn unparsable_value_names_flag_and_value() {
+        let err = parse_config(&args(&["--seed", "xyz"])).unwrap_err();
+        assert!(err.contains("--seed") && err.contains("xyz"), "{err}");
+        let err = parse_jobs(&args(&["--jobs", "-1"])).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
     }
 }

@@ -340,8 +340,14 @@ mod tests {
         let a = LineAddr::new(0);
         let b = LineAddr::new(2); // same set as a (2 sets: even addrs → set 0)
         let d = LineAddr::new(4);
-        assert!(matches!(c.insert(a), InsertOutcome::Installed { writeback: None }));
-        assert!(matches!(c.insert(b), InsertOutcome::Installed { writeback: None }));
+        assert!(matches!(
+            c.insert(a),
+            InsertOutcome::Installed { writeback: None }
+        ));
+        assert!(matches!(
+            c.insert(b),
+            InsertOutcome::Installed { writeback: None }
+        ));
         // Touch `a` so `b` becomes LRU.
         assert!(c.lookup(a));
         c.mark_dirty(b);

@@ -301,8 +301,7 @@ impl LadderEngine {
         let old_stored = store.read(addr);
         let fnw = apply_fnw(&shifted, &old_stored, self.config.fnw);
         self.stats.flips_cancelled += fnw.flips_cancelled as u64;
-        self.stats.flip_opportunities +=
-            (fnw.flip_mask.count_ones() + fnw.flips_cancelled) as u64;
+        self.stats.flip_opportunities += (fnw.flip_mask.count_ones() + fnw.flips_cancelled) as u64;
 
         // Update metadata contents.
         match meta {
@@ -511,7 +510,11 @@ mod tests {
         // logical content) coincides with what the counters track; the
         // transform interactions are exercised by the shift/fnw tests and
         // the Fig. 15 experiment.
-        for variant in [LadderVariant::Basic, LadderVariant::Est, LadderVariant::Hybrid] {
+        for variant in [
+            LadderVariant::Basic,
+            LadderVariant::Est,
+            LadderVariant::Hybrid,
+        ] {
             let (mut e, mut store) = engine_with(variant, |cfg| {
                 cfg.fnw = FnwPolicy::Disabled;
                 cfg.shifting = false;
@@ -545,7 +548,11 @@ mod tests {
 
     #[test]
     fn read_line_roundtrips_through_transforms() {
-        for variant in [LadderVariant::Basic, LadderVariant::Est, LadderVariant::Hybrid] {
+        for variant in [
+            LadderVariant::Basic,
+            LadderVariant::Est,
+            LadderVariant::Hybrid,
+        ] {
             let (mut e, mut store) = engine(variant);
             let addr = data_addr(&e, 1, 13);
             let mut data = [0u8; 64];

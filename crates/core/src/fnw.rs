@@ -227,7 +227,11 @@ mod tests {
 
     #[test]
     fn set_reset_split_sums_to_changed() {
-        let out = apply_fnw(&line_of(0b1100_0011), &line_of(0b1010_1010), FnwPolicy::Disabled);
+        let out = apply_fnw(
+            &line_of(0b1100_0011),
+            &line_of(0b1010_1010),
+            FnwPolicy::Disabled,
+        );
         assert_eq!(out.bits_set + out.bits_reset, out.bits_changed);
         assert!(out.bits_set > 0 && out.bits_reset > 0);
     }

@@ -189,8 +189,7 @@ impl MetadataLayout {
         if self.low_rows == 0 {
             return None;
         }
-        (self.reserved_pages..self.total_pages)
-            .find(|&p| self.wordline_of_page(p) < self.low_rows)
+        (self.reserved_pages..self.total_pages).find(|&p| self.wordline_of_page(p) < self.low_rows)
     }
 
     /// Rank of a low-precision page among all low-precision pages.
@@ -242,8 +241,7 @@ impl MetadataLayout {
                         quarter: (rank % 4) as usize,
                     }
                 } else {
-                    let low_lines =
-                        (self.total_pages * self.low_rows / self.mat_rows).div_ceil(4);
+                    let low_lines = (self.total_pages * self.low_rows / self.mat_rows).div_ceil(4);
                     MetadataRef::Partial {
                         line: LineAddr::new(low_lines + self.high_rank(p)),
                     }
@@ -326,9 +324,7 @@ mod tests {
         // Low ranks are consecutive within a wordline block, so aligning on
         // a rank multiple of four yields one shared line.
         let aligned = (start..start + 8)
-            .find(|&p| {
-                layout.is_low_precision(WlgId(p)) && layout.low_rank(p).is_multiple_of(4)
-            })
+            .find(|&p| layout.is_low_precision(WlgId(p)) && layout.low_rank(p).is_multiple_of(4))
             .expect("aligned low page");
         let refs: Vec<_> = (0..4)
             .map(|i| layout.metadata_for(WlgId(aligned + i)))

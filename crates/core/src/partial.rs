@@ -138,10 +138,7 @@ fn encode_2bit(worst_byte_ones: u16) -> u16 {
 /// The iterator yields the partial-counter byte of every *resident* line of
 /// the group (absent lines are all-zero and may be skipped — zero lines
 /// contribute level 1 per subgroup, which `zero_lines` accounts for).
-pub fn estimate_cw_lrs(
-    partials: impl Iterator<Item = PartialCounters>,
-    zero_lines: usize,
-) -> u16 {
+pub fn estimate_cw_lrs(partials: impl Iterator<Item = PartialCounters>, zero_lines: usize) -> u16 {
     let mut sums = [0u16; SUBGROUPS];
     for pc in partials {
         for (j, sum) in sums.iter_mut().enumerate() {
@@ -149,7 +146,10 @@ pub fn estimate_cw_lrs(
         }
     }
     let zero_contrib = zero_lines as u16 * LEVELS_2BIT[0];
-    sums.iter().map(|&s| s + zero_contrib).max().expect("nonempty")
+    sums.iter()
+        .map(|&s| s + zero_contrib)
+        .max()
+        .expect("nonempty")
 }
 
 /// Estimates `C^w_lrs` from 1-bit low-precision counters.
@@ -164,7 +164,10 @@ pub fn estimate_cw_lrs_low(
         }
     }
     let zero_contrib = zero_lines as u16 * LEVELS_1BIT[0];
-    sums.iter().map(|&s| s + zero_contrib).max().expect("nonempty")
+    sums.iter()
+        .map(|&s| s + zero_contrib)
+        .max()
+        .expect("nonempty")
 }
 
 /// Exact `C^w_lrs` of a set of lines, for comparing estimation accuracy
@@ -186,7 +189,16 @@ mod tests {
     #[test]
     fn encoding_levels_match_paper() {
         // '00','01','10','11' represent 1 (0–1), 3 (2–3), 5 (4–5), 8 (6–8).
-        for (ones, expect) in [(0, 1), (1, 1), (2, 3), (3, 3), (4, 5), (5, 5), (6, 8), (8, 8)] {
+        for (ones, expect) in [
+            (0, 1),
+            (1, 1),
+            (2, 3),
+            (3, 3),
+            (4, 5),
+            (5, 5),
+            (6, 8),
+            (8, 8),
+        ] {
             let mut line = [0u8; LINE_BYTES];
             line[0] = (0xFFu16 >> (8 - ones)) as u8;
             assert_eq!(PartialCounters::from_line(&line).decode(0), expect);
@@ -202,7 +214,9 @@ mod tests {
         for _ in 0..64 {
             let mut l = [0u8; LINE_BYTES];
             for b in &mut l {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *b = (x >> 33) as u8;
             }
             lines.push(l);

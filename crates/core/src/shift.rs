@@ -87,7 +87,9 @@ mod tests {
         let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
         let mut l = [0u8; LINE_BYTES];
         for b in &mut l {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *b = (x >> 40) as u8;
         }
         l
@@ -106,8 +108,7 @@ mod tests {
         for slot in [0, 7, 13, 63] {
             let line = pseudo_random_line(slot as u64 + 99);
             let shifted = shift_line(&line, slot);
-            let ones =
-                |l: &LineData| l.iter().map(|b| b.count_ones()).sum::<u32>();
+            let ones = |l: &LineData| l.iter().map(|b| b.count_ones()).sum::<u32>();
             assert_eq!(ones(&line), ones(&shifted));
         }
     }

@@ -408,7 +408,10 @@ mod tests {
         assert!(matches!(c.next_action(t0), CoreAction::IssueRead { .. }));
         c.on_read_issued(77, t0);
         // Blocked: no further actions.
-        assert!(matches!(c.next_action(t0), CoreAction::Idle { until: None }));
+        assert!(matches!(
+            c.next_action(t0),
+            CoreAction::Idle { until: None }
+        ));
         let t1 = Instant::from_ps(50_000);
         c.on_read_completed(77, t1);
         // Second read becomes available, not before t1.
@@ -430,7 +433,11 @@ mod tests {
             cfg,
             Box::new(VecTrace::new(
                 "t",
-                vec![read_ev(0, 1, false), read_ev(0, 2, false), read_ev(0, 3, false)],
+                vec![
+                    read_ev(0, 1, false),
+                    read_ev(0, 2, false),
+                    read_ev(0, 3, false),
+                ],
             )),
         );
         let t0 = Instant::ZERO;
@@ -439,7 +446,10 @@ mod tests {
             c.on_read_issued(id, t0);
         }
         // Third read hits the MLP wall.
-        assert!(matches!(c.next_action(t0), CoreAction::Idle { until: None }));
+        assert!(matches!(
+            c.next_action(t0),
+            CoreAction::Idle { until: None }
+        ));
         c.on_read_completed(0, Instant::from_ps(10_000));
         assert!(matches!(
             c.next_action(Instant::from_ps(10_000)),
@@ -473,7 +483,10 @@ mod tests {
         let t0 = Instant::ZERO;
         assert!(matches!(c.next_action(t0), CoreAction::IssueRead { .. }));
         c.on_read_issued(1, t0);
-        assert!(matches!(c.next_action(t0), CoreAction::Idle { until: None }));
+        assert!(matches!(
+            c.next_action(t0),
+            CoreAction::Idle { until: None }
+        ));
         assert!(!c.is_finished());
         c.on_read_completed(1, Instant::from_ps(100));
         assert!(matches!(

@@ -28,8 +28,7 @@ fn arb_event() -> impl Strategy<Value = MemEvent> {
 /// Drives a core against a synthetic memory system that completes reads
 /// after `read_delay` and rejects each write `write_rejects` times first.
 fn drive(events: Vec<MemEvent>, read_delay: u64, write_rejects: u32) -> (Core, Instant) {
-    let total_instructions: u64 =
-        events.iter().map(|e| e.gap_instructions + 1).sum();
+    let total_instructions: u64 = events.iter().map(|e| e.gap_instructions + 1).sum();
     let mut core = Core::new(
         CoreConfig::default(),
         Box::new(VecTrace::new("prop", events)),

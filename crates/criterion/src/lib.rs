@@ -64,7 +64,11 @@ impl Criterion {
         b.elapsed = Duration::ZERO;
         f(&mut b);
         let mean_ns = b.elapsed.as_secs_f64() * 1e9 / b.iters as f64;
-        println!("{name}: {} /iter ({} iterations)", format_ns(mean_ns), b.iters);
+        println!(
+            "{name}: {} /iter ({} iterations)",
+            format_ns(mean_ns),
+            b.iters
+        );
         self
     }
 }

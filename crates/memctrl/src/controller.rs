@@ -60,8 +60,46 @@ pub trait AccessObserver: Send {
     fn on_write(&mut self, addr: LineAddr, bits_set: u32, bits_reset: u32);
 }
 
+/// Device fault model driving program-and-verify (`ladder-faults`
+/// implements this; the trait lives here so the controller stays free of a
+/// dependency cycle, like [`AccessObserver`]).
+///
+/// Semantics of one serviced data write: the controller fires the initial
+/// RESET pulse (attempt 0) and asks the injector how many bits failed to
+/// program. Every failed verify is followed by exactly one escalated retry
+/// pulse while the bounded budget lasts — so `retries_issued ==
+/// failed_verifies` is a controller invariant. Bits still failing after
+/// the final pulse are handed to [`FaultInjector::resolve`] (the ECC /
+/// retire-and-remap layer); no further verify is charged for them, since
+/// no retry could act on it.
+///
+/// The verify read after a *successful* pulse is not charged separately:
+/// RESET termination sensing is part of the modeled pulse, so a fault-free
+/// injector adds zero latency and a rate-0.0 run is bit-identical to the
+/// no-injector path.
+pub trait FaultInjector: Send {
+    /// Retry-pulse budget per write (0 disables retries).
+    fn max_retries(&self) -> u32;
+
+    /// Pulse width of retry `attempt` (1-based), given the scheme's base
+    /// `tWR`. Escalated pulses are longer — the overdrive that makes the
+    /// retry more likely to stick.
+    fn retry_t_wr(&self, base: Picos, attempt: u32) -> Picos;
+
+    /// Simulates program attempt `attempt` (0 = the initial pulse) of the
+    /// data most recently stored at `addr`, returning how many bits failed
+    /// to switch. May install permanent faults into the store's masks.
+    fn program(&mut self, addr: LineAddr, store: &mut LineStore, attempt: u32, t_wr: Picos) -> u32;
+
+    /// Final disposition of `residual_bits` still failing after the retry
+    /// budget: `true` if the line's correction budget covers them, `false`
+    /// if the line is uncorrectable (data loss; the injector may retire
+    /// the page).
+    fn resolve(&mut self, addr: LineAddr, residual_bits: u32, store: &mut LineStore) -> bool;
+}
+
 /// Aggregate controller statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Demand (CPU) reads completed.
     pub demand_reads: u64,
@@ -91,6 +129,18 @@ pub struct MemStats {
     pub wrq_peak: usize,
     /// Highest spill-buffer occupancy seen.
     pub spill_peak: usize,
+    /// Verify reads that found failed bits (program-and-verify).
+    pub failed_verifies: u64,
+    /// Escalated retry pulses issued. Equals `failed_verifies` by
+    /// construction: every failed verify triggers exactly one retry.
+    pub retries_issued: u64,
+    /// Total extra service time spent on verify reads and retry pulses.
+    pub retry_time: Picos,
+    /// Residual failed bits absorbed by the per-line correction budget.
+    pub ecc_corrected_bits: u64,
+    /// Data writes whose residual failed bits exceeded the correction
+    /// budget (data loss).
+    pub uncorrectable_writes: u64,
 }
 
 impl MemStats {
@@ -161,6 +211,9 @@ pub enum CtrlWake {
     DepReady,
     /// A channel switched between read mode and write-drain mode.
     ModeSwitch,
+    /// A program-and-verify retry pulse begins on a bank (the bank stays
+    /// occupied until the last pulse's data burst completes).
+    RetryPulse,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -295,6 +348,7 @@ pub struct MemoryController {
     stats: MemStats,
     read_histogram: LatencyHistogram,
     observer: Option<Box<dyn ObserverDebug>>,
+    fault_injector: Option<Box<dyn InjectorDebug>>,
     wakes: EventQueue<CtrlWake>,
 }
 
@@ -315,10 +369,24 @@ impl<T: AccessObserver> ObserverDebug for T {
     }
 }
 
+/// Internal marker combining the fault-injector trait with Debug for
+/// derive.
+trait InjectorDebug: FaultInjector {}
+
+impl std::fmt::Debug for dyn InjectorDebug {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FaultInjector")
+    }
+}
+
+impl<T: FaultInjector> InjectorDebug for T {}
+
 impl MemoryController {
     /// Creates a controller over a fresh (all-zero) memory image.
     pub fn new(cfg: MemCtrlConfig, map: AddressMap, policy: Box<dyn WritePolicy>) -> Self {
-        let channels = (0..map.geometry().channels).map(|_| Channel::new()).collect();
+        let channels = (0..map.geometry().channels)
+            .map(|_| Channel::new())
+            .collect();
         let banks = vec![Instant::ZERO; map.geometry().total_banks()];
         Self {
             spill: SpillBuffer::new(cfg.spill_capacity),
@@ -334,6 +402,7 @@ impl MemoryController {
             stats: MemStats::default(),
             read_histogram: LatencyHistogram::new(),
             observer: None,
+            fault_injector: None,
             wakes: EventQueue::new(),
         }
     }
@@ -341,6 +410,12 @@ impl MemoryController {
     /// Installs a write observer (e.g. a wear model).
     pub fn set_observer<O: AccessObserver + 'static>(&mut self, obs: O) {
         self.observer = Some(Box::new(obs));
+    }
+
+    /// Installs a device fault model, enabling program-and-verify on data
+    /// writes (see [`FaultInjector`]).
+    pub fn set_fault_injector<F: FaultInjector + 'static>(&mut self, inj: F) {
+        self.fault_injector = Some(Box::new(inj));
     }
 
     /// Statistics so far.
@@ -715,7 +790,9 @@ impl MemoryController {
         let entry = self.channels[ch].rdq.remove(idx).expect("index valid");
         let bank = self.bank_of(entry.addr);
         let nominal_burst = Instant::from_ps((now + lat).as_ps() - timing.t_burst.as_ps());
-        let burst_start = self.channels[ch].bus.reserve(nominal_burst, timing.t_burst, now);
+        let burst_start = self.channels[ch]
+            .bus
+            .reserve(nominal_burst, timing.t_burst, now);
         let completion = burst_start + timing.t_burst;
         self.banks[bank] = completion;
         self.wakes.schedule(completion, CtrlWake::BankFree);
@@ -777,9 +854,49 @@ impl MemoryController {
                 (t, s, r)
             }
         };
-        let lat = timing.write_latency(t_wr);
+        let mut lat = timing.write_latency(t_wr);
+        // Program-and-verify: each failed verify triggers exactly one
+        // escalated retry pulse (verify read + longer RESET), extending
+        // this write's bank occupancy so read blocking is modeled
+        // honestly. A RetryPulse wake marks the start of every retry.
+        if entry.kind == WKind::Data {
+            if let Some(inj) = &mut self.fault_injector {
+                let mut residual = inj.program(entry.addr, &mut self.store, 0, t_wr);
+                let max_retries = inj.max_retries();
+                let mut attempt = 0u32;
+                let mut retry_time = Picos::ZERO;
+                while residual > 0 && attempt < max_retries {
+                    attempt += 1;
+                    self.stats.failed_verifies += 1;
+                    self.stats.retries_issued += 1;
+                    // The verify read precedes the retry pulse.
+                    let pulse = timing.write_latency(inj.retry_t_wr(t_wr, attempt));
+                    self.wakes.schedule(
+                        now + lat + retry_time + timing.read_latency(),
+                        CtrlWake::RetryPulse,
+                    );
+                    retry_time += timing.read_latency() + pulse;
+                    residual = inj.program(entry.addr, &mut self.store, attempt, t_wr);
+                }
+                if residual > 0 {
+                    // Budget exhausted with bits still failing: hand the
+                    // residue to ECC / retire-and-remap. No verify is
+                    // charged after the final pulse — nothing could act
+                    // on it.
+                    if inj.resolve(entry.addr, residual, &mut self.store) {
+                        self.stats.ecc_corrected_bits += residual as u64;
+                    } else {
+                        self.stats.uncorrectable_writes += 1;
+                    }
+                }
+                self.stats.retry_time += retry_time;
+                lat += retry_time;
+            }
+        }
         let nominal_burst = Instant::from_ps((now + lat).as_ps() - timing.t_burst.as_ps());
-        let burst_start = self.channels[ch].bus.reserve(nominal_burst, timing.t_burst, now);
+        let burst_start = self.channels[ch]
+            .bus
+            .reserve(nominal_burst, timing.t_burst, now);
         let completion = burst_start + timing.t_burst;
         self.banks[bank] = completion;
         self.wakes.schedule(completion, CtrlWake::BankFree);
@@ -1028,7 +1145,10 @@ mod tests {
         // A demand read on channel 0 now sits behind the drain.
         let rid = mc.enqueue_read(LineAddr::new(0), now).expect("queued");
         mc.process(now);
-        assert!(mc.take_completed_reads().is_empty(), "read must wait out the drain");
+        assert!(
+            mc.take_completed_reads().is_empty(),
+            "read must wait out the drain"
+        );
         // Let the drain run its course.
         for _ in 0..100000 {
             match mc.next_wake(now) {

@@ -34,7 +34,9 @@ mod controller;
 mod histogram;
 mod policy;
 
-pub use controller::{AccessObserver, CtrlWake, MemCtrlConfig, MemStats, MemoryController, ReqId};
+pub use controller::{
+    AccessObserver, CtrlWake, FaultInjector, MemCtrlConfig, MemStats, MemoryController, ReqId,
+};
 pub use histogram::LatencyHistogram;
 pub use policy::{
     standard_tables, BlpPolicy, CwTrace, FixedWorstPolicy, LadderPolicy, LocationAwarePolicy,

@@ -264,7 +264,8 @@ impl WritePolicy for BlpPolicy {
         let old = store.read(addr);
         let out = apply_fnw(&data, &old, FnwPolicy::Classic);
         store.write(addr, out.stored);
-        self.profiler.record_write(&self.map, addr, &old, &out.stored);
+        self.profiler
+            .record_write(&self.map, addr, &old, &out.stored);
         let (wl, col) = self.map.write_location(addr);
         ServiceResult {
             t_wr: Picos::from_ps(self.table.lookup_ps(wl, col, cb as usize)),
@@ -347,7 +348,6 @@ impl LadderPolicy {
     pub fn engine(&self) -> &LadderEngine {
         &self.engine
     }
-
 }
 
 impl WritePolicy for LadderPolicy {

@@ -2,12 +2,12 @@
 //! eventually serviced exactly once, under every scheme and arbitrary
 //! interleavings.
 
+use ladder_baselines::SplitReset;
 use ladder_core::LadderVariant;
 use ladder_memctrl::{
-    standard_tables, FixedWorstPolicy, LadderPolicy, MemCtrlConfig, MemoryController, Tables,
-    SplitResetPolicy, WritePolicy,
+    standard_tables, FixedWorstPolicy, LadderPolicy, MemCtrlConfig, MemoryController,
+    SplitResetPolicy, Tables, WritePolicy,
 };
-use ladder_baselines::SplitReset;
 use ladder_reram::{AddressMap, Geometry, Instant, LineAddr};
 use ladder_xbar::TableConfig;
 use proptest::prelude::*;

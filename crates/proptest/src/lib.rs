@@ -269,28 +269,40 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            Self { lo: n, hi_inclusive: n }
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            Self { lo: r.start, hi_inclusive: r.end - 1 }
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty size range");
-            Self { lo: *r.start(), hi_inclusive: *r.end() }
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
         }
     }
 
     /// Generates `Vec`s whose length falls in `size` and whose elements
     /// come from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// See [`vec`].
@@ -312,9 +324,7 @@ pub mod collection {
 
 /// Everything a property test imports, mirroring `proptest::prelude`.
 pub mod prelude {
-    pub use crate::{
-        any, Arbitrary, Just, ProptestConfig, Strategy, StrategyExt, TestRng, Union,
-    };
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy, StrategyExt, TestRng, Union};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// Mirrors `proptest::prelude::prop` (module-path access to the

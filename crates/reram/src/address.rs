@@ -195,10 +195,7 @@ impl AddressMap {
     /// `(wordline index, worst bit column)`.
     pub fn write_location(&self, line: LineAddr) -> (usize, usize) {
         let d = self.decode(line);
-        (
-            d.wordline,
-            self.geometry.worst_column_of_slot(d.block_slot),
-        )
+        (d.wordline, self.geometry.worst_column_of_slot(d.block_slot))
     }
 }
 
@@ -213,7 +210,9 @@ mod tests {
         // Deterministic pseudo-random sample across the whole range.
         let mut x = 0x9e3779b97f4a7c15u64;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = LineAddr::new(x % lines);
             assert_eq!(map.encode(&map.decode(a)), a);
         }

@@ -88,9 +88,15 @@ impl Geometry {
             return Err("all geometry dimensions must be nonzero".into());
         }
         if !LINE_BYTES.is_multiple_of(self.chips) {
-            return Err(format!("{} chips do not evenly split a 64 B line", self.chips));
+            return Err(format!(
+                "{} chips do not evenly split a 64 B line",
+                self.chips
+            ));
         }
-        if !self.mats_per_bank.is_multiple_of(self.mats_per_line_per_chip()) {
+        if !self
+            .mats_per_bank
+            .is_multiple_of(self.mats_per_line_per_chip())
+        {
             return Err(format!(
                 "{} mats/bank do not form whole mat groups of {}",
                 self.mats_per_bank,

@@ -30,6 +30,6 @@ mod timing;
 
 pub use address::{AddressMap, Decoded, LineAddr, WlgId};
 pub use geometry::{Geometry, LINES_PER_WLG, LINE_BYTES, PAGE_BYTES};
-pub use store::{line_ones, LineData, LineStore};
+pub use store::{line_ones, FaultMask, LineData, LineStore};
 pub use time::{EventQueue, Instant, Picos};
 pub use timing::DeviceTiming;

@@ -13,6 +13,35 @@ use std::collections::HashMap;
 /// Contents of one 64 B memory line.
 pub type LineData = [u8; LINE_BYTES];
 
+/// Permanent stuck-at faults on one line.
+///
+/// `sa1` bits read as `1` regardless of what was programmed (cells stuck
+/// in LRS); `sa0` bits read as `0` (stuck in HRS). A bit never appears in
+/// both masks — [`LineStore::inject_stuck`] gives `sa0` precedence.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultMask {
+    /// Bits stuck at 1 (LRS).
+    pub sa1: LineData,
+    /// Bits stuck at 0 (HRS).
+    pub sa0: LineData,
+}
+
+impl FaultMask {
+    /// Applies the mask to programmed data: what a read actually returns.
+    pub fn apply(&self, data: &LineData) -> LineData {
+        let mut out = *data;
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = (*byte | self.sa1[i]) & !self.sa0[i];
+        }
+        out
+    }
+
+    /// Number of stuck cells in the mask.
+    pub fn stuck_bits(&self) -> u32 {
+        line_ones(&self.sa1) + line_ones(&self.sa0)
+    }
+}
+
 /// Sparse map from line address to current contents.
 ///
 /// # Examples
@@ -30,6 +59,7 @@ pub type LineData = [u8; LINE_BYTES];
 #[derive(Debug, Clone, Default)]
 pub struct LineStore {
     lines: HashMap<u64, LineData>,
+    faults: HashMap<u64, FaultMask>,
 }
 
 impl LineStore {
@@ -38,8 +68,23 @@ impl LineStore {
         Self::default()
     }
 
-    /// Reads a line; untouched lines are all-zero.
+    /// Reads a line; untouched lines are all-zero. Stuck-at faults
+    /// injected with [`LineStore::inject_stuck`] override the programmed
+    /// value bit-for-bit, exactly as a real read of a faulted cell would.
     pub fn read(&self, addr: LineAddr) -> LineData {
+        let data = self.read_raw(addr);
+        if self.faults.is_empty() {
+            return data;
+        }
+        match self.faults.get(&addr.raw()) {
+            Some(mask) => mask.apply(&data),
+            None => data,
+        }
+    }
+
+    /// Reads the programmed (pre-fault-mask) contents of a line — what the
+    /// write circuitry *intended* to store, for verify-read comparisons.
+    pub fn read_raw(&self, addr: LineAddr) -> LineData {
         self.lines
             .get(&addr.raw())
             .copied()
@@ -70,6 +115,36 @@ impl LineStore {
     /// Number of lines ever written.
     pub fn resident_lines(&self) -> usize {
         self.lines.len()
+    }
+
+    /// Accumulates permanent stuck-at faults on a line. Set bits in `sa1`
+    /// become stuck at 1 (LRS), set bits in `sa0` stuck at 0 (HRS); on
+    /// conflict (a bit in both the new and the accumulated masks) `sa0`
+    /// wins, modeling the heavily-cycled cell collapsing into HRS.
+    pub fn inject_stuck(&mut self, addr: LineAddr, sa1: LineData, sa0: LineData) {
+        let mask = self.faults.entry(addr.raw()).or_insert(FaultMask {
+            sa1: [0; LINE_BYTES],
+            sa0: [0; LINE_BYTES],
+        });
+        for i in 0..LINE_BYTES {
+            mask.sa0[i] |= sa0[i];
+            mask.sa1[i] = (mask.sa1[i] | sa1[i]) & !mask.sa0[i];
+        }
+    }
+
+    /// The fault mask of a line, if it has any stuck cells.
+    pub fn fault_mask(&self, addr: LineAddr) -> Option<&FaultMask> {
+        self.faults.get(&addr.raw())
+    }
+
+    /// Number of stuck cells on a line.
+    pub fn stuck_bits(&self, addr: LineAddr) -> u32 {
+        self.fault_mask(addr).map_or(0, FaultMask::stuck_bits)
+    }
+
+    /// Number of lines carrying at least one stuck cell.
+    pub fn faulted_lines(&self) -> usize {
+        self.faults.len()
     }
 }
 
@@ -118,6 +193,56 @@ mod tests {
         assert!(store.contains(a));
         assert_eq!(store.read(a), [0; LINE_BYTES]);
         assert_eq!(store.resident_lines(), 1);
+    }
+
+    #[test]
+    fn stuck_bits_override_programmed_data() {
+        let mut store = LineStore::new();
+        let a = LineAddr::new(3);
+        store.write(a, [0x0F; LINE_BYTES]);
+        let mut sa1 = [0u8; LINE_BYTES];
+        let mut sa0 = [0u8; LINE_BYTES];
+        sa1[0] = 0b1000_0000; // stuck-at-1 in a programmed-0 position
+        sa0[0] = 0b0000_0001; // stuck-at-0 in a programmed-1 position
+        store.inject_stuck(a, sa1, sa0);
+        assert_eq!(store.read(a)[0], 0b1000_1110);
+        // The programmed image is unchanged: retry pulses re-verify
+        // against what the controller intended to store.
+        assert_eq!(store.read_raw(a)[0], 0x0F);
+        assert_eq!(store.stuck_bits(a), 2);
+        assert_eq!(store.faulted_lines(), 1);
+        // Unfaulted lines are untouched.
+        assert_eq!(store.stuck_bits(LineAddr::new(4)), 0);
+    }
+
+    #[test]
+    fn sa0_wins_mask_conflicts() {
+        let mut store = LineStore::new();
+        let a = LineAddr::new(9);
+        let mut sa1 = [0u8; LINE_BYTES];
+        sa1[5] = 0b0110_0000;
+        store.inject_stuck(a, sa1, [0; LINE_BYTES]);
+        let mut sa0 = [0u8; LINE_BYTES];
+        sa0[5] = 0b0100_0000; // collapses one of the stuck-at-1 cells
+        store.inject_stuck(a, [0; LINE_BYTES], sa0);
+        let mask = store.fault_mask(a).expect("mask present");
+        assert_eq!(mask.sa1[5], 0b0010_0000);
+        assert_eq!(mask.sa0[5], 0b0100_0000);
+        assert_eq!(mask.stuck_bits(), 2);
+    }
+
+    #[test]
+    fn masked_read_of_untouched_line() {
+        let mut store = LineStore::new();
+        let a = LineAddr::new(11);
+        let mut sa1 = [0u8; LINE_BYTES];
+        sa1[7] = 0xFF;
+        store.inject_stuck(a, sa1, [0; LINE_BYTES]);
+        // Never written: reads as all-zero except the stuck-at-1 byte.
+        let r = store.read(a);
+        assert_eq!(r[7], 0xFF);
+        assert_eq!(line_ones(&r), 8);
+        assert!(!store.contains(a));
     }
 
     #[test]

@@ -393,7 +393,9 @@ mod tests {
         assert_eq!(at_40, (1000..1016).collect::<Vec<_>>());
         assert_eq!(at_50, (0..16).collect::<Vec<_>>());
         // All t=40 events come before any t=50 event.
-        assert!(drained[..16].iter().all(|(at, _)| *at == Instant::from_ps(40)));
+        assert!(drained[..16]
+            .iter()
+            .all(|(at, _)| *at == Instant::from_ps(40)));
     }
 
     #[test]
@@ -402,7 +404,10 @@ mod tests {
         q.schedule(Instant::from_ps(10), ());
         q.schedule(Instant::from_ps(20), ());
         q.schedule(Instant::from_ps(30), ());
-        assert_eq!(q.next_after(Instant::from_ps(20)), Some(Instant::from_ps(30)));
+        assert_eq!(
+            q.next_after(Instant::from_ps(20)),
+            Some(Instant::from_ps(30))
+        );
         assert_eq!(q.len(), 1);
         assert_eq!(q.next_after(Instant::from_ps(30)), None);
         assert!(q.is_empty());

@@ -72,7 +72,13 @@ fn sweep_with_base<V: Copy + Sync>(
     let tables = cfg.tables();
     let (mut results, _) = runner.run_jobs(values.len() + 1, |i| {
         if i == 0 {
-            run_one(Scheme::Baseline, workload, cfg, &tables, RunOptions::default())
+            run_one(
+                Scheme::Baseline,
+                workload,
+                cfg,
+                &tables,
+                RunOptions::default(),
+            )
         } else {
             run_value(&tables, values[i - 1])
         }
@@ -120,7 +126,11 @@ pub fn shifting_ablation(
         .zip(&runs)
         .map(|(&shifting, r)| {
             point(
-                if shifting { "shifting on" } else { "shifting off" },
+                if shifting {
+                    "shifting on"
+                } else {
+                    "shifting off"
+                },
                 r,
                 &base,
             )
@@ -201,8 +211,20 @@ pub fn table_granularity_sweep(
         let mut c = cfg.clone();
         c.table_cfg = tc;
         let tables = c.tables();
-        let base = run_one(Scheme::Baseline, workload, &c, &tables, RunOptions::default());
-        let r = run_one(Scheme::LadderEst, workload, &c, &tables, RunOptions::default());
+        let base = run_one(
+            Scheme::Baseline,
+            workload,
+            &c,
+            &tables,
+            RunOptions::default(),
+        );
+        let r = run_one(
+            Scheme::LadderEst,
+            workload,
+            &c,
+            &tables,
+            RunOptions::default(),
+        );
         let rom_bytes = tables.ladder.to_rom_bytes().len();
         (base, r, rom_bytes)
     });
@@ -259,9 +281,21 @@ pub fn vwl_comparison(
 ) -> Vec<AblationPoint> {
     let tables = cfg.tables();
     let (results, _) = runner.run_jobs(4, |i| match i {
-        0 => run_one(Scheme::Baseline, workload, cfg, &tables, RunOptions::default()),
+        0 => run_one(
+            Scheme::Baseline,
+            workload,
+            cfg,
+            &tables,
+            RunOptions::default(),
+        ),
         // No wear-leveling.
-        1 => run_one(Scheme::LadderEst, workload, cfg, &tables, RunOptions::default()),
+        1 => run_one(
+            Scheme::LadderEst,
+            workload,
+            cfg,
+            &tables,
+            RunOptions::default(),
+        ),
         // Segment-based VWL (the LADDER-friendly kind).
         2 => run_one(
             Scheme::LadderEst,
@@ -341,7 +375,10 @@ mod tests {
         assert_eq!(pts.len(), 5);
         let first = pts.first().expect("points").cache_hit.expect("ladder");
         let last = pts.last().expect("points").cache_hit.expect("ladder");
-        assert!(last >= first, "bigger cache cannot hit less ({first} vs {last})");
+        assert!(
+            last >= first,
+            "bigger cache cannot hit less ({first} vs {last})"
+        );
     }
 
     #[test]
@@ -372,7 +409,10 @@ mod tests {
         let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
         // Paper Section 5: reduced granularity costs < 3 %; allow slack for
         // the tiny test run.
-        assert!((max - min) / max < 0.15, "granularity swing too large: {speedups:?}");
+        assert!(
+            (max - min) / max < 0.15,
+            "granularity swing too large: {speedups:?}"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::runner::{AloneIpcCache, RunSpec, Runner, RunnerStats};
 use crate::scheme::Scheme;
 use crate::system::{RunResult, SystemBuilder};
 use ladder_cpu::TraceSource;
+use ladder_faults::{FaultConfig, FaultStats};
 use ladder_memctrl::{standard_tables, Tables};
 use ladder_reram::{Geometry, Instant};
 use ladder_wear::{SegmentVwl, WearLeveler};
@@ -66,8 +67,10 @@ pub enum Workload {
 impl Workload {
     /// All 16 workloads in the paper's figure order.
     pub fn all() -> Vec<Workload> {
-        let mut v: Vec<Workload> =
-            SINGLE_BENCHMARKS.iter().map(|&b| Workload::Single(b)).collect();
+        let mut v: Vec<Workload> = SINGLE_BENCHMARKS
+            .iter()
+            .map(|&b| Workload::Single(b))
+            .collect();
         v.extend(MIXES.iter().map(|&(m, _)| Workload::Mix(m)));
         v
     }
@@ -146,6 +149,9 @@ pub struct RunOptions {
     /// Wrap addresses with segment-based vertical wear-leveling and
     /// horizontal byte rotation (Section 6.4).
     pub wear_leveling: bool,
+    /// Install the device fault model (stuck-at + transient write
+    /// failures, P&V retries, ECC/retire recovery).
+    pub faults: Option<FaultConfig>,
 }
 
 /// Runs one `(scheme, workload)` cell of the evaluation matrix.
@@ -167,6 +173,9 @@ pub fn run_one(
         b.leveler(make_leveler(cfg));
         b.horizontal_leveling(true);
     }
+    if let Some(fcfg) = opts.faults {
+        b.faults(fcfg);
+    }
     b.run()
 }
 
@@ -177,7 +186,13 @@ fn make_leveler(cfg: &ExperimentConfig) -> Box<dyn WearLeveler> {
     let base = total / 16;
     let pages_per_segment = 4096;
     let segments = (total - base) / pages_per_segment;
-    Box::new(SegmentVwl::new(base, segments, pages_per_segment, 100_000, cfg.seed))
+    Box::new(SegmentVwl::new(
+        base,
+        segments,
+        pages_per_segment,
+        100_000,
+        cfg.seed,
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -703,9 +718,17 @@ fn fig15_cell(cfg: &ExperimentConfig, tables: &Tables, w: Workload, shifting: bo
     let mut now = Instant::ZERO;
     for (core, bench) in w.members().into_iter().enumerate() {
         let (base, _) = core_window(core);
-        let seed = cfg.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(core as u64 + 1);
-        let mut trace =
-            WorkloadGen::new(profile_of(bench), seed, base, window_pages, events_per_member);
+        let seed = cfg
+            .seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(core as u64 + 1);
+        let mut trace = WorkloadGen::new(
+            profile_of(bench),
+            seed,
+            base,
+            window_pages,
+            events_per_member,
+        );
         while let Some(ev) = trace.next_event() {
             if let ladder_cpu::TraceOp::Write { addr, data } = ev.op {
                 while !mc.enqueue_write(addr, *data, now) {
@@ -786,6 +809,99 @@ fn total_writes(r: &RunResult) -> f64 {
 }
 
 // ---------------------------------------------------------------------------
+// Extension — raw bit-error-rate sweep: P&V retries, ECC, and data loss.
+// ---------------------------------------------------------------------------
+
+/// One `(scheme, raw BER)` cell of the error-rate sweep.
+#[derive(Debug, Clone)]
+pub struct FaultSweepRow {
+    /// Scheme evaluated.
+    pub scheme: Scheme,
+    /// Raw transient bit-error rate at the worst IR-drop corner.
+    pub ber: f64,
+    /// IPC of core 0 under faults.
+    pub ipc: f64,
+    /// IPC relative to the same scheme's fault-free run (the P&V
+    /// degradation).
+    pub ipc_vs_fault_free: f64,
+    /// Retry pulses per thousand data writes.
+    pub retries_per_kilowrite: f64,
+    /// Fraction of simulated time spent in verify reads and retry pulses.
+    pub retry_time_frac: f64,
+    /// Estimated device lifetime in seconds at the sweep's endurance
+    /// budget, from the run's worst-line write rate.
+    pub lifetime_s: f64,
+    /// Lifetime relative to the same scheme's fault-free run.
+    pub lifetime_vs_fault_free: f64,
+    /// The fault model's full counters (stuck cells, ECC corrections,
+    /// uncorrectable data loss, page retirements).
+    pub faults: FaultStats,
+}
+
+/// Sweeps the raw bit-error rate for baseline vs. LADDER-Est/Hybrid,
+/// measuring IPC degradation, retry overhead, ECC/data-loss counts, and
+/// lifetime. All schemes face identical raw fault pressure (the model
+/// samples against the physical LADDER table); they differ in how much a
+/// retry pulse costs them.
+pub fn error_rate_sweep(
+    cfg: &ExperimentConfig,
+    workload: Workload,
+    bers: &[f64],
+    runner: &Runner,
+) -> Vec<FaultSweepRow> {
+    let tables = Arc::new(cfg.tables());
+    let schemes = [Scheme::Baseline, Scheme::LadderEst, Scheme::LadderHybrid];
+    let wear_opts = RunOptions {
+        track_wear: true,
+        ..RunOptions::default()
+    };
+    // Fault-free controls first, then one run per (BER, scheme).
+    let mut specs: Vec<RunSpec> = schemes
+        .iter()
+        .map(|&s| RunSpec::with_options(s, workload, wear_opts))
+        .collect();
+    for &ber in bers {
+        for &s in &schemes {
+            let opts = RunOptions {
+                faults: Some(FaultConfig::with_ber(cfg.seed, ber)),
+                ..wear_opts
+            };
+            specs.push(RunSpec::with_options(s, workload, opts));
+        }
+    }
+    let (results, _) = runner.run_specs(cfg, &tables, &specs);
+    let endurance = FaultConfig::with_ber(cfg.seed, 0.0).endurance;
+    let lifetime_of = |r: &RunResult| {
+        r.wear
+            .as_ref()
+            .expect("wear tracking enabled")
+            .with(|w| w.lifetime_seconds(endurance, r.end.duration_since(Instant::ZERO)))
+    };
+    let controls = &results[..schemes.len()];
+    let mut rows = Vec::new();
+    for (bi, &ber) in bers.iter().enumerate() {
+        for (si, &scheme) in schemes.iter().enumerate() {
+            let r = &results[schemes.len() + bi * schemes.len() + si];
+            let control = &controls[si];
+            let lifetime_s = lifetime_of(r);
+            rows.push(FaultSweepRow {
+                scheme,
+                ber,
+                ipc: r.ipc0(),
+                ipc_vs_fault_free: r.ipc0() / control.ipc0(),
+                retries_per_kilowrite: r.mem.retries_issued as f64 * 1000.0
+                    / r.mem.data_writes.max(1) as f64,
+                retry_time_frac: r.mem.retry_time.as_ps() as f64 / r.end.as_ps().max(1) as f64,
+                lifetime_s,
+                lifetime_vs_fault_free: lifetime_s / lifetime_of(control),
+                faults: r.faults.expect("fault model installed"),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // Section 7 — process-variability sensitivity.
 // ---------------------------------------------------------------------------
 
@@ -812,7 +928,13 @@ pub fn variability(
     let schemes = [Scheme::Baseline, Scheme::LadderHybrid];
     // Four independent runs: (full, shrunk) × (baseline, hybrid).
     let (runs, _) = runner.run_jobs(4, |i| {
-        run_one(schemes[i % 2], workload, cfg, sets[i / 2], RunOptions::default())
+        run_one(
+            schemes[i % 2],
+            workload,
+            cfg,
+            sets[i / 2],
+            RunOptions::default(),
+        )
     });
     let full = runs[1].ipc0() / runs[0].ipc0();
     let small = runs[3].ipc0() / runs[2].ipc0();
@@ -865,7 +987,13 @@ mod tests {
         let tables = cfg.tables();
         let w = Workload::Single("astar");
         let base = run_one(Scheme::Baseline, w, &cfg, &tables, RunOptions::default());
-        let hybrid = run_one(Scheme::LadderHybrid, w, &cfg, &tables, RunOptions::default());
+        let hybrid = run_one(
+            Scheme::LadderHybrid,
+            w,
+            &cfg,
+            &tables,
+            RunOptions::default(),
+        );
         let oracle = run_one(Scheme::Oracle, w, &cfg, &tables, RunOptions::default());
         // Oracle ≤ Hybrid < baseline on write service time.
         assert!(oracle.avg_write_service() <= hybrid.avg_write_service());
@@ -1001,7 +1129,9 @@ pub fn crash_recovery(cfg: &ExperimentConfig, bench: &'static str) -> CrashRecov
     // Power failure + lazy correction. Full convergence needs every line
     // of a page rewritten (~64 writes/page), so post windows are wider.
     mc.crash_recover();
-    let post: Vec<f64> = (0..24).map(|_| feed(&mut mc, &mut now, window * 4)).collect();
+    let post: Vec<f64> = (0..24)
+        .map(|_| feed(&mut mc, &mut now, window * 4))
+        .collect();
     CrashRecoveryResult {
         steady_twr_ns: steady,
         post_crash_windows_ns: post,
@@ -1046,8 +1176,20 @@ pub fn hot_remap_extension(
         .take(4096)
         .collect();
     let (runs, _) = runner.run_jobs(3, |i| match i {
-        0 => run_one(Scheme::Baseline, workload, cfg, &tables, RunOptions::default()),
-        1 => run_one(Scheme::LadderHybrid, workload, cfg, &tables, RunOptions::default()),
+        0 => run_one(
+            Scheme::Baseline,
+            workload,
+            cfg,
+            &tables,
+            RunOptions::default(),
+        ),
+        1 => run_one(
+            Scheme::LadderHybrid,
+            workload,
+            cfg,
+            &tables,
+            RunOptions::default(),
+        ),
         _ => {
             let mut b = SystemBuilder::with_tables(Scheme::LadderHybrid, &tables);
             for (core, bench) in workload.members().into_iter().enumerate() {

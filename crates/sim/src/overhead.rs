@@ -22,26 +22,30 @@ pub struct StorageOverhead {
 /// Computes the memory storage overhead of every variant (the 3.12 % /
 /// 1.56 % / ~1 % numbers of Section 6.3).
 pub fn storage_overheads(geometry: &Geometry) -> Vec<StorageOverhead> {
-    [LadderVariant::Basic, LadderVariant::Est, LadderVariant::Hybrid]
-        .into_iter()
-        .map(|variant| {
-            let cfg = LadderConfig::for_variant(variant);
-            let layout = MetadataLayout::new(
-                geometry,
-                match variant {
-                    LadderVariant::Basic => ladder_core::MetadataFormat::Exact,
-                    LadderVariant::Est => ladder_core::MetadataFormat::Partial,
-                    LadderVariant::Hybrid => ladder_core::MetadataFormat::MultiGranularity {
-                        low_precision_rows: cfg.low_precision_rows,
-                    },
+    [
+        LadderVariant::Basic,
+        LadderVariant::Est,
+        LadderVariant::Hybrid,
+    ]
+    .into_iter()
+    .map(|variant| {
+        let cfg = LadderConfig::for_variant(variant);
+        let layout = MetadataLayout::new(
+            geometry,
+            match variant {
+                LadderVariant::Basic => ladder_core::MetadataFormat::Exact,
+                LadderVariant::Est => ladder_core::MetadataFormat::Partial,
+                LadderVariant::Hybrid => ladder_core::MetadataFormat::MultiGranularity {
+                    low_precision_rows: cfg.low_precision_rows,
                 },
-            );
-            StorageOverhead {
-                variant,
-                fraction: layout.storage_overhead(),
-            }
-        })
-        .collect()
+            },
+        );
+        StorageOverhead {
+            variant,
+            fraction: layout.storage_overhead(),
+        }
+    })
+    .collect()
 }
 
 /// On-chip state LADDER adds to the memory controller (Section 6.3 text).
@@ -117,7 +121,11 @@ pub fn report() -> String {
     let mut out = String::new();
     out.push_str("Storage overhead (computed from metadata layouts):\n");
     for so in storage_overheads(&geometry) {
-        out.push_str(&format!("  {:?}: {:.3}%\n", so.variant, so.fraction * 100.0));
+        out.push_str(&format!(
+            "  {:?}: {:.3}%\n",
+            so.variant,
+            so.fraction * 100.0
+        ));
     }
     let chip = on_chip_state(&table);
     out.push_str(&format!(
@@ -151,8 +159,16 @@ mod tests {
     #[test]
     fn storage_overheads_match_section_6_3() {
         let o = storage_overheads(&Geometry::default());
-        assert!((o[0].fraction - 0.03125).abs() < 0.0015, "Basic {}", o[0].fraction);
-        assert!((o[1].fraction - 0.015625).abs() < 0.0008, "Est {}", o[1].fraction);
+        assert!(
+            (o[0].fraction - 0.03125).abs() < 0.0015,
+            "Basic {}",
+            o[0].fraction
+        );
+        assert!(
+            (o[1].fraction - 0.015625).abs() < 0.0008,
+            "Est {}",
+            o[1].fraction
+        );
         assert!(o[2].fraction < o[1].fraction, "Hybrid must be cheapest");
     }
 

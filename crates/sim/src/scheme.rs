@@ -3,8 +3,8 @@
 use ladder_baselines::SplitReset;
 use ladder_core::{LadderConfig, LadderVariant};
 use ladder_memctrl::{
-    BlpPolicy, FixedWorstPolicy, LadderPolicy, LocationAwarePolicy, OraclePolicy,
-    SplitResetPolicy, WritePolicy,
+    BlpPolicy, FixedWorstPolicy, LadderPolicy, LocationAwarePolicy, OraclePolicy, SplitResetPolicy,
+    WritePolicy,
 };
 use ladder_reram::AddressMap;
 use ladder_xbar::{CrossbarParams, TimingTable};

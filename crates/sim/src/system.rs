@@ -14,11 +14,12 @@ use crate::scheme::Scheme;
 use ladder_core::LadderConfig;
 use ladder_cpu::{Core, CoreAction, CoreConfig, TraceSource};
 use ladder_energy::{EnergyBreakdown, EnergyMeter, EnergyParams};
+use ladder_faults::{CellFaultModel, FaultConfig, FaultStats, SharedCellFaultModel};
 use ladder_memctrl::{
     CtrlWake, CwTrace, LatencyHistogram, MemCtrlConfig, MemStats, MemoryController, ReqId, Tables,
 };
 use ladder_reram::{AddressMap, EventQueue, Geometry, Instant, LineAddr, Picos};
-use ladder_wear::{RotateHwl, SharedWearMap, WearLeveler};
+use ladder_wear::{RotateHwl, SharedRetirePool, SharedWearMap, WearLeveler};
 use ladder_xbar::{CrossbarParams, TimingTable};
 use std::collections::{HashMap, VecDeque};
 
@@ -61,6 +62,8 @@ pub struct RunResult {
     pub read_histogram: LatencyHistogram,
     /// Wear map, when wear tracking was requested.
     pub wear: Option<SharedWearMap>,
+    /// Fault-model counters, when fault injection was requested.
+    pub faults: Option<FaultStats>,
     /// Per-[`EventKind`](EventCounts) dispatch counters of the event
     /// kernel that drove this run.
     pub events: EventCounts,
@@ -141,9 +144,32 @@ impl RunResult {
             }
         }
         if let Some(t) = self.cw_trace {
-            let _ = writeln!(out, "  counter estimate − exact (mean): {:.1}", t.mean_diff());
+            let _ = writeln!(
+                out,
+                "  counter estimate − exact (mean): {:.1}",
+                t.mean_diff()
+            );
         }
-        let _ = writeln!(out, "  simulated time: {:.1} us", self.end.as_ps() as f64 / 1e6);
+        if let Some(f) = self.faults {
+            // Only report when the model actually did something, so an
+            // inert (rate-0) run renders identically to a no-fault run.
+            if f.transient_bit_errors + f.stuck_cells + f.corrected_bits + f.uncorrectable_lines > 0
+            {
+                let _ = writeln!(out, "  {}", f.summary());
+                let _ = writeln!(
+                    out,
+                    "  P&V: {} failed verifies, {} retries ({:.1} us of retry pulses)",
+                    m.failed_verifies,
+                    m.retries_issued,
+                    m.retry_time.as_ns() / 1000.0
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  simulated time: {:.1} us",
+            self.end.as_ps() as f64 / 1e6
+        );
         let _ = writeln!(
             out,
             "  kernel: {} events dispatched ({:.0} per simulated second)",
@@ -181,6 +207,7 @@ pub struct SystemBuilder {
     hwl: Option<RotateHwl>,
     energy_params: EnergyParams,
     ladder_override: Option<LadderConfig>,
+    fault_cfg: Option<FaultConfig>,
 }
 
 impl SystemBuilder {
@@ -208,6 +235,7 @@ impl SystemBuilder {
             hwl: None,
             energy_params: EnergyParams::default(),
             ladder_override: None,
+            fault_cfg: None,
         }
     }
 
@@ -257,6 +285,23 @@ impl SystemBuilder {
         self
     }
 
+    /// Installs the device fault model: stuck-at and transient write
+    /// failures, program-and-verify retries in the controller, and
+    /// ECC/retire recovery. An inert (all-zero-rate) config leaves the run
+    /// bit-identical to one without this call.
+    pub fn faults(&mut self, cfg: FaultConfig) -> &mut Self {
+        self.fault_cfg = Some(cfg);
+        self
+    }
+
+    /// Spare frames for fault-driven page retirement: a slice of the
+    /// reserved low-page region (below the workload windows at
+    /// `pages/16`, above the metadata pages at the bottom).
+    fn spare_frames(geometry: &Geometry) -> Vec<u64> {
+        let reserve_base = geometry.pages() as u64 / 32;
+        (reserve_base..reserve_base + 2048).collect()
+    }
+
     /// Runs the configured system to completion.
     ///
     /// # Panics
@@ -281,6 +326,21 @@ impl SystemBuilder {
         } else {
             None
         };
+        // The fault model always samples against the physical LADDER table
+        // (it describes the device, not the active policy), so every scheme
+        // faces identical raw fault pressure.
+        let fault_model = self.fault_cfg.map(|fcfg| {
+            let pool = SharedRetirePool::with_spares(Self::spare_frames(&self.geometry));
+            let model = CellFaultModel::new(
+                fcfg,
+                self.ladder_table.clone(),
+                AddressMap::new(self.geometry.clone()),
+            )
+            .with_retire_pool(pool.clone());
+            let shared = SharedCellFaultModel::new(model);
+            mc.set_fault_injector(shared.clone());
+            (shared, pool)
+        });
         let mut cores: Vec<Core> = self
             .traces
             .into_iter()
@@ -297,6 +357,7 @@ impl SystemBuilder {
         let mut sim = EventKernel {
             mc,
             leveler: self.leveler,
+            retire: fault_model.as_ref().map(|(_, pool)| pool.clone()),
             hwl: self.hwl,
             pending_reads: HashMap::new(),
             pending_migrations: VecDeque::new(),
@@ -344,6 +405,7 @@ impl SystemBuilder {
             fnw: sim.mc.policy().fnw_stats(),
             read_histogram: sim.mc.read_histogram().clone(),
             wear,
+            faults: fault_model.map(|(shared, _)| shared.stats()),
             events: sim.counts,
         }
     }
@@ -377,6 +439,8 @@ pub struct EventCounts {
     pub ctrl_dep_ready: u64,
     /// Controller wakes: a channel switched read/write-drain mode.
     pub ctrl_mode_switch: u64,
+    /// Controller wakes: a program-and-verify retry pulse fired.
+    pub ctrl_retry_pulse: u64,
 }
 
 impl EventCounts {
@@ -389,6 +453,7 @@ impl EventCounts {
             + self.ctrl_queue_slot_free
             + self.ctrl_dep_ready
             + self.ctrl_mode_switch
+            + self.ctrl_retry_pulse
     }
 
     /// Accumulates another run's counters into this one.
@@ -400,6 +465,7 @@ impl EventCounts {
         self.ctrl_queue_slot_free += other.ctrl_queue_slot_free;
         self.ctrl_dep_ready += other.ctrl_dep_ready;
         self.ctrl_mode_switch += other.ctrl_mode_switch;
+        self.ctrl_retry_pulse += other.ctrl_retry_pulse;
     }
 
     fn count(&mut self, ev: EventKind) {
@@ -411,6 +477,7 @@ impl EventCounts {
             EventKind::Ctrl(CtrlWake::QueueSlotFree) => self.ctrl_queue_slot_free += 1,
             EventKind::Ctrl(CtrlWake::DepReady) => self.ctrl_dep_ready += 1,
             EventKind::Ctrl(CtrlWake::ModeSwitch) => self.ctrl_mode_switch += 1,
+            EventKind::Ctrl(CtrlWake::RetryPulse) => self.ctrl_retry_pulse += 1,
         }
     }
 }
@@ -429,6 +496,9 @@ impl EventCounts {
 struct EventKernel {
     mc: MemoryController,
     leveler: Option<Box<dyn WearLeveler>>,
+    /// Fault-driven page retirement, applied after the primary leveler
+    /// (both remap physical pages; retirement wins last).
+    retire: Option<SharedRetirePool>,
     hwl: Option<RotateHwl>,
     pending_reads: HashMap<u64, usize>,
     pending_migrations: VecDeque<LineAddr>,
@@ -450,9 +520,13 @@ struct EventKernel {
 
 impl EventKernel {
     fn map_addr(&self, logical: LineAddr) -> LineAddr {
-        match &self.leveler {
+        let leveled = match &self.leveler {
             Some(l) => l.map(logical),
             None => logical,
+        };
+        match &self.retire {
+            Some(pool) => pool.map(leveled),
+            None => leveled,
         }
     }
 
@@ -463,7 +537,10 @@ impl EventKernel {
         }
         self.absorb();
         while let Some((t, ev)) = self.events.pop() {
-            assert!(t >= now, "event kernel time went backwards: {t} after {now}");
+            assert!(
+                t >= now,
+                "event kernel time went backwards: {t} after {now}"
+            );
             now = t;
             self.counts.count(ev);
             match ev {
@@ -584,10 +661,13 @@ impl EventKernel {
                         Some(h) => h.rotate_for_write(addr, &data),
                         None => *data,
                     };
-                    let migrations = match &mut self.leveler {
+                    let mut migrations = match &mut self.leveler {
                         Some(l) => l.note_write(addr),
                         None => Vec::new(),
                     };
+                    if let Some(pool) = &mut self.retire {
+                        migrations.extend(pool.note_write(addr));
+                    }
                     let phys = self.map_addr(addr);
                     if self.mc.enqueue_write(phys, stored, now) {
                         self.ctrl_dirty = true;

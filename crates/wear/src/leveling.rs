@@ -111,7 +111,11 @@ impl WearLeveler for StartGap {
             .expect("address below region base");
         assert!(rel < self.lines, "address beyond region");
         let rotated = (rel + self.start) % self.lines;
-        let phys = if rotated >= self.gap { rotated + 1 } else { rotated };
+        let phys = if rotated >= self.gap {
+            rotated + 1
+        } else {
+            rotated
+        };
         LineAddr::new(self.base + phys)
     }
 

@@ -16,4 +16,4 @@ mod rng_util;
 
 pub use leveling::{NoLeveling, RotateHwl, SegmentVwl, StartGap, WearLeveler};
 pub use lifetime::{relative_lifetime, SharedWearMap, WearMap};
-pub use remap::HotPageRemapper;
+pub use remap::{HotPageRemapper, RetirePool, SharedRetirePool};

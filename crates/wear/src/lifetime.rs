@@ -31,7 +31,6 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct WearMap {
     counts: HashMap<u64, u64>,
-    total: u64,
 }
 
 impl WearMap {
@@ -53,6 +52,11 @@ impl WearMap {
     /// Lines ever written.
     pub fn lines_touched(&self) -> usize {
         self.counts.len()
+    }
+
+    /// Writes observed on one specific line.
+    pub fn line_writes(&self, addr: LineAddr) -> u64 {
+        self.counts.get(&addr.raw()).copied().unwrap_or(0)
     }
 
     /// Coefficient of unevenness: worst-line writes over the mean. 1.0
@@ -87,7 +91,6 @@ impl WearMap {
     /// Convenience: observe a batch of `n` writes to the same line.
     pub fn record(&mut self, addr: LineAddr, n: u64) {
         *self.counts.entry(addr.raw()).or_insert(0) += n;
-        self.total += n;
     }
 }
 
@@ -155,7 +158,10 @@ mod tests {
         let t = Picos::from_ns(1e9);
         let le = even.lifetime_seconds(1_000_000, t);
         let ls = skewed.lifetime_seconds(1_000_000, t);
-        assert!((le / ls - 50.0).abs() < 1e-9, "50× worse hot line → 50× shorter");
+        assert!(
+            (le / ls - 50.0).abs() < 1e-9,
+            "50× worse hot line → 50× shorter"
+        );
     }
 
     #[test]

@@ -132,6 +132,159 @@ impl WearLeveler for HotPageRemapper {
     }
 }
 
+/// Fault-driven page retirement: a one-way map from worn-out pages to spare
+/// frames.
+///
+/// Unlike [`HotPageRemapper`]'s symmetric swaps, retirement never reuses the
+/// retired page — its cells are stuck. The pool hands out spare frames (from
+/// the back of the list, like the remapper), and each retirement surfaces a
+/// page copy (64 lines) as amortized migration writes.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_wear::{RetirePool, WearLeveler};
+/// use ladder_reram::LineAddr;
+///
+/// let mut pool = RetirePool::with_spares(vec![200, 201]);
+/// assert_eq!(pool.retire(50), Some(true));
+/// assert_eq!(pool.retire(50), None, "already retired");
+/// // Lines of page 50 now live in spare frame 201.
+/// assert_eq!(pool.map(LineAddr::new(50 * 64 + 7)), LineAddr::new(201 * 64 + 7));
+/// ```
+#[derive(Debug, Default)]
+pub struct RetirePool {
+    spares: Vec<u64>,
+    retired: HashMap<u64, u64>,
+    /// Copy-out writes still to surface (one page copy per retirement).
+    pending_migrations: u64,
+    retirements: u64,
+    exhausted: u64,
+}
+
+impl RetirePool {
+    /// Creates a pool handing out the given spare frame pages (from the
+    /// back of the list).
+    pub fn with_spares(spares: Vec<u64>) -> Self {
+        Self {
+            spares,
+            ..Self::default()
+        }
+    }
+
+    /// Retires `page` into a spare frame. Returns `Some(true)` on success,
+    /// `Some(false)` when no spare is left, and `None` if the page is
+    /// already retired (a no-op).
+    pub fn retire(&mut self, page: u64) -> Option<bool> {
+        if self.retired.contains_key(&page) {
+            return None;
+        }
+        match self.spares.pop() {
+            Some(frame) => {
+                self.retired.insert(page, frame);
+                self.pending_migrations += LINES_PER_WLG as u64;
+                self.retirements += 1;
+                Some(true)
+            }
+            None => {
+                self.exhausted += 1;
+                Some(false)
+            }
+        }
+    }
+
+    /// Pages retired so far.
+    pub fn retirements(&self) -> u64 {
+        self.retirements
+    }
+
+    /// Retire attempts that found the pool empty.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted
+    }
+
+    /// Spare frames still available.
+    pub fn spares_left(&self) -> usize {
+        self.spares.len()
+    }
+
+    fn mapped_page(&self, page: u64) -> u64 {
+        let mut p = page;
+        // A spare frame can itself wear out and retire; follow the chain.
+        // Each hop consumes a distinct spare, so the chain is finite.
+        while let Some(&next) = self.retired.get(&p) {
+            p = next;
+        }
+        p
+    }
+}
+
+impl WearLeveler for RetirePool {
+    fn map(&self, logical: LineAddr) -> LineAddr {
+        let page = self.mapped_page(logical.page());
+        LineAddr::new(page * LINES_PER_WLG as u64 + logical.block_slot() as u64)
+    }
+
+    fn note_write(&mut self, logical: LineAddr) -> Vec<LineAddr> {
+        if self.pending_migrations > 0 {
+            self.pending_migrations -= 1;
+            return vec![self.map(logical)];
+        }
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "retire-remap"
+    }
+}
+
+/// Shared wrapper so the fault model (inside the controller) and the
+/// simulator's address path can drive one [`RetirePool`] — the
+/// [`crate::SharedWearMap`] idiom.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRetirePool(std::sync::Arc<std::sync::Mutex<RetirePool>>);
+
+impl SharedRetirePool {
+    /// Creates a shared pool with the given spare frame pages.
+    pub fn with_spares(spares: Vec<u64>) -> Self {
+        Self(std::sync::Arc::new(std::sync::Mutex::new(
+            RetirePool::with_spares(spares),
+        )))
+    }
+
+    /// Runs `f` over the underlying pool.
+    pub fn with<R>(&self, f: impl FnOnce(&RetirePool) -> R) -> R {
+        f(&self.0.lock().expect("retire pool poisoned"))
+    }
+
+    /// See [`RetirePool::retire`].
+    pub fn retire(&self, page: u64) -> Option<bool> {
+        self.0.lock().expect("retire pool poisoned").retire(page)
+    }
+
+    /// See [`RetirePool::map`] (via [`WearLeveler`]).
+    pub fn map(&self, logical: LineAddr) -> LineAddr {
+        self.with(|p| p.map(logical))
+    }
+}
+
+impl WearLeveler for SharedRetirePool {
+    fn map(&self, logical: LineAddr) -> LineAddr {
+        self.with(|p| WearLeveler::map(p, logical))
+    }
+
+    fn note_write(&mut self, logical: LineAddr) -> Vec<LineAddr> {
+        self.0
+            .lock()
+            .expect("retire pool poisoned")
+            .note_write(logical)
+    }
+
+    fn name(&self) -> &'static str {
+        "retire-remap"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,7 +292,10 @@ mod tests {
     #[test]
     fn mapping_is_identity_until_promotion() {
         let r = HotPageRemapper::new(vec![10], 100);
-        assert_eq!(r.map(LineAddr::new(999 * 64 + 3)), LineAddr::new(999 * 64 + 3));
+        assert_eq!(
+            r.map(LineAddr::new(999 * 64 + 3)),
+            LineAddr::new(999 * 64 + 3)
+        );
     }
 
     #[test]
@@ -189,5 +345,49 @@ mod tests {
             r.note_write(LineAddr::new((200 + i % 3) * 64));
         }
         assert_eq!(r.promotions(), 1, "only one frame to hand out");
+    }
+
+    #[test]
+    fn retirement_is_one_way_and_bounded() {
+        let mut pool = RetirePool::with_spares(vec![300, 301]);
+        assert_eq!(pool.retire(10), Some(true));
+        assert_eq!(pool.retire(11), Some(true));
+        assert_eq!(pool.retire(12), Some(false), "pool exhausted");
+        assert_eq!(pool.retire(10), None, "idempotent");
+        assert_eq!(pool.retirements(), 2);
+        assert_eq!(pool.exhausted(), 1);
+        assert_eq!(pool.spares_left(), 0);
+        assert_eq!(pool.map(LineAddr::new(10 * 64)).page(), 301);
+        assert_eq!(pool.map(LineAddr::new(11 * 64)).page(), 300);
+        // Un-retired pages map to themselves, including the failed one.
+        assert_eq!(pool.map(LineAddr::new(12 * 64)).page(), 12);
+    }
+
+    #[test]
+    fn retired_spare_chains_to_its_replacement() {
+        let mut pool = RetirePool::with_spares(vec![300, 301]);
+        assert_eq!(pool.retire(10), Some(true)); // 10 → 301
+        assert_eq!(pool.retire(301), Some(true)); // 301 → 300
+        assert_eq!(pool.map(LineAddr::new(10 * 64)).page(), 300);
+    }
+
+    #[test]
+    fn retirement_surfaces_one_page_of_migrations() {
+        let mut pool = RetirePool::with_spares(vec![300]);
+        pool.retire(10);
+        let mut migrations = 0;
+        for i in 0..200u64 {
+            migrations += pool.note_write(LineAddr::new(10 * 64 + i % 64)).len();
+        }
+        assert_eq!(migrations, LINES_PER_WLG);
+    }
+
+    #[test]
+    fn shared_pool_is_seen_by_all_clones() {
+        let pool = SharedRetirePool::with_spares(vec![400]);
+        let clone = pool.clone();
+        assert_eq!(pool.retire(77), Some(true));
+        assert_eq!(clone.map(LineAddr::new(77 * 64)).page(), 400);
+        assert_eq!(clone.with(|p| p.retirements()), 1);
     }
 }

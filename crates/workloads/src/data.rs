@@ -138,7 +138,10 @@ mod tests {
             .sum::<f64>()
             / 200.0;
         let target = 0.2 * 512.0;
-        assert!((mean - target).abs() < target * 0.15, "mean {mean} vs {target}");
+        assert!(
+            (mean - target).abs() < target * 0.15,
+            "mean {mean} vs {target}"
+        );
     }
 
     #[test]

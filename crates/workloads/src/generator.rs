@@ -91,8 +91,7 @@ impl WorkloadGen {
         page_limit: u64,
         instructions: u64,
     ) -> Self {
-        let events =
-            (instructions as f64 * (profile.rpki + profile.wpki) / 1000.0).round() as u64;
+        let events = (instructions as f64 * (profile.rpki + profile.wpki) / 1000.0).round() as u64;
         Self::new(profile, seed, page_base, page_limit, events.max(1))
     }
 
@@ -138,8 +137,7 @@ impl WorkloadGen {
             self.current_page = (self.current_page + 1) % self.page_count;
             return;
         }
-        let reuse = !self.recent_pages.is_empty()
-            && self.rng.next_f64() < self.profile.page_reuse;
+        let reuse = !self.recent_pages.is_empty() && self.rng.next_f64() < self.profile.page_reuse;
         self.current_page = if reuse {
             let idx = self.rng.next_below(self.recent_pages.len() as u64) as usize;
             self.recent_pages[idx]
@@ -241,8 +239,11 @@ mod tests {
         let expect = 1000.0 / (p.rpki + p.wpki);
         let mut gen = WorkloadGen::new(p, 13, 0, 100_000, 20_000);
         let events = drain(&mut gen);
-        let mean: f64 =
-            events.iter().map(|e| e.gap_instructions as f64).sum::<f64>() / events.len() as f64;
+        let mean: f64 = events
+            .iter()
+            .map(|e| e.gap_instructions as f64)
+            .sum::<f64>()
+            / events.len() as f64;
         assert!((mean - expect).abs() < expect * 0.06, "mean gap {mean}");
     }
 

@@ -107,27 +107,47 @@ pub fn profile_of(name: &str) -> BenchmarkProfile {
     match name {
         // Pathfinding: pointer-heavy, moderate intensity, sparse clustered
         // integer data.
-        "astar" => p("astar", 12.0, 2.2, 0.14, 12, 20_000, 0.70, 0.80, false, 0.12, 0.60, 0.35),
+        "astar" => p(
+            "astar", 12.0, 2.2, 0.14, 12, 20_000, 0.70, 0.80, false, 0.12, 0.60, 0.35,
+        ),
         // Streaming FP solver: high bandwidth, dense FP mantissas.
-        "bwavs" => p("bwavs", 16.0, 4.2, 0.05, 16, 60_000, 0.85, 0.80, true, 0.35, 0.20, 0.30),
+        "bwavs" => p(
+            "bwavs", 16.0, 4.2, 0.05, 16, 60_000, 0.85, 0.80, true, 0.35, 0.20, 0.30,
+        ),
         // Simulated annealing over a netlist: random access, highly
         // compressible element data (paper Section 6.3 singles it out).
-        "cannl" => p("cannl", 14.0, 3.2, 0.12, 12, 50_000, 0.50, 0.75, false, 0.10, 0.50, 0.75),
+        "cannl" => p(
+            "cannl", 14.0, 3.2, 0.12, 12, 50_000, 0.50, 0.75, false, 0.10, 0.50, 0.75,
+        ),
         // Physics simulation: streaming FP with moderate reuse.
-        "fsim" => p("fsim", 9.0, 2.8, 0.07, 12, 30_000, 0.80, 0.80, true, 0.30, 0.30, 0.45),
+        "fsim" => p(
+            "fsim", 9.0, 2.8, 0.07, 12, 30_000, 0.80, 0.80, true, 0.30, 0.30, 0.45,
+        ),
         // Lattice-Boltzmann: the heaviest write stream, dense FP data.
-        "lbm" => p("lbm", 14.0, 6.5, 0.04, 16, 70_000, 0.90, 0.85, true, 0.38, 0.25, 0.30),
+        "lbm" => p(
+            "lbm", 14.0, 6.5, 0.04, 16, 70_000, 0.90, 0.85, true, 0.38, 0.25, 0.30,
+        ),
         // Quantum simulation: streaming over a large sparse amplitude
         // array; mostly-zero, very compressible.
-        "libq" => p("libq", 22.0, 3.2, 0.06, 14, 40_000, 0.90, 0.85, true, 0.08, 0.40, 0.80),
+        "libq" => p(
+            "libq", 22.0, 3.2, 0.06, 14, 40_000, 0.90, 0.85, true, 0.08, 0.40, 0.80,
+        ),
         // Sparse network simplex: the classic latency-bound pointer chaser.
-        "mcf" => p("mcf", 28.0, 4.2, 0.18, 14, 90_000, 0.55, 0.72, false, 0.10, 0.55, 0.55),
+        "mcf" => p(
+            "mcf", 28.0, 4.2, 0.18, 14, 90_000, 0.55, 0.72, false, 0.10, 0.55, 0.55,
+        ),
         // Interpreter: modest intensity, compressible heap data (paper
         // Section 6.3 singles it out).
-        "perlb" => p("perlb", 5.0, 1.4, 0.10, 10, 10_000, 0.75, 0.85, false, 0.15, 0.50, 0.75),
+        "perlb" => p(
+            "perlb", 5.0, 1.4, 0.10, 10, 10_000, 0.75, 0.85, false, 0.15, 0.50, 0.75,
+        ),
         // FP grid solvers used in the mixes.
-        "cactus" => p("cactus", 9.0, 3.2, 0.07, 12, 40_000, 0.80, 0.80, true, 0.33, 0.30, 0.40),
-        "zeusmp" => p("zeusmp", 8.0, 2.3, 0.07, 12, 35_000, 0.80, 0.80, true, 0.30, 0.30, 0.45),
+        "cactus" => p(
+            "cactus", 9.0, 3.2, 0.07, 12, 40_000, 0.80, 0.80, true, 0.33, 0.30, 0.40,
+        ),
+        "zeusmp" => p(
+            "zeusmp", 8.0, 2.3, 0.07, 12, 35_000, 0.80, 0.80, true, 0.30, 0.30, 0.45,
+        ),
         other => panic!("unknown benchmark {other:?}"),
     }
 }

@@ -121,8 +121,8 @@ pub fn load_trace(path: &Path, label: impl Into<String>) -> std::io::Result<VecT
         text.push_str(&line?);
         text.push('\n');
     }
-    let events = parse_trace(&text)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let events =
+        parse_trace(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     Ok(VecTrace::new(label, events))
 }
 
@@ -171,7 +171,9 @@ mod tests {
     #[test]
     fn malformed_lines_are_reported_with_position() {
         assert!(parse_trace("10 R").unwrap_err().contains("line 1"));
-        assert!(parse_trace("10 R zz 1\nx W 0 00").unwrap_err().contains("bad addr"));
+        assert!(parse_trace("10 R zz 1\nx W 0 00")
+            .unwrap_err()
+            .contains("bad addr"));
         let short_data = "5 W 40 aabb";
         assert!(parse_trace(short_data).unwrap_err().contains("128 hex"));
         assert!(parse_trace("1 Q 0 0").unwrap_err().contains("unknown op"));

@@ -73,7 +73,10 @@ pub fn estimate_vd(params: &CrossbarParams, op: &OperatingPoint) -> Vec<(usize, 
     bls.sort_unstable();
     bls.dedup();
     assert!(!bls.is_empty(), "at least one target bitline required");
-    assert!(*bls.last().expect("nonempty") < cols, "target bitline out of range");
+    assert!(
+        *bls.last().expect("nonempty") < cols,
+        "target bitline out of range"
+    );
 
     let kappa = params.selector_multiplier(params.bias_voltage);
     // Half-selected sneak currents at nominal bias, per cell. Cells on the
@@ -103,12 +106,8 @@ pub fn estimate_vd(params: &CrossbarParams, op: &OperatingPoint) -> Vec<(usize, 
 
     // Aggregate wordline sneak: total current and per-target-position moment.
     let wl_sneak_total = i_wl_lrs * wl_lrs_cols.len() as f64 + i_wl_hrs * wl_hrs_count as f64;
-    let wl_lrs_moment = |b: usize| -> f64 {
-        wl_lrs_cols
-            .iter()
-            .map(|&c| c.min(b) as f64)
-            .sum::<f64>()
-    };
+    let wl_lrs_moment =
+        |b: usize| -> f64 { wl_lrs_cols.iter().map(|&c| c.min(b) as f64).sum::<f64>() };
     // HRS cells contribute uniformly; approximate their positions as spread
     // over the whole line (they are everywhere the LRS cells are not).
     let wl_hrs_moment = |b: usize| -> f64 { wl_hrs_count as f64 * (b as f64) * 0.5 };
@@ -138,9 +137,7 @@ pub fn estimate_vd(params: &CrossbarParams, op: &OperatingPoint) -> Vec<(usize, 
             let drop_wl = params.r_input * (i_f_total + wl_sneak_total)
                 + r_w * (full_moment + i_wl_lrs * wl_lrs_moment(b) + wl_hrs_moment(b) * i_wl_hrs);
             // Bitline drop at row w for this bitline's own current.
-            let drop_bl = params.r_output * i_f[k]
-                + r_w * i_f[k] * w as f64
-                + bl_drop_static;
+            let drop_bl = params.r_output * i_f[k] + r_w * i_f[k] * w as f64 + bl_drop_static;
             let new_vd = (params.write_voltage - drop_wl - drop_bl).max(0.05);
             vd[k] = new_vd;
             i_f[k] = new_vd / params.r_reset_transition;
@@ -155,7 +152,13 @@ mod tests {
     use crate::mna::{solve_reset, ResetOp, SolverKind};
     use crate::pattern::PatternSpec;
 
-    fn point(n: usize, w: usize, bls: Vec<usize>, wl_ones: usize, bl_ones: usize) -> OperatingPoint {
+    fn point(
+        n: usize,
+        w: usize,
+        bls: Vec<usize>,
+        wl_ones: usize,
+        bl_ones: usize,
+    ) -> OperatingPoint {
         let _ = n;
         OperatingPoint {
             target_wl: w,

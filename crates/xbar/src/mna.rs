@@ -541,7 +541,10 @@ pub fn kirchhoff_residual(
     sol: &Solution,
 ) -> f64 {
     let (rows, cols) = (params.rows, params.cols);
-    assert!(sol.v_top.len() == rows * cols, "solution dimension mismatch");
+    assert!(
+        sol.v_top.len() == rows * cols,
+        "solution dimension mismatch"
+    );
     let drive = drive_for(params, op);
     let gw = 1.0 / params.r_wire;
     let gin = 1.0 / params.r_input;

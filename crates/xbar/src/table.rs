@@ -202,7 +202,9 @@ impl TimingTable {
                 std::thread::scope(|s| {
                     let handles: Vec<_> = points
                         .chunks(chunk)
-                        .map(|pts| s.spawn(move || pts.iter().map(vd_of).collect::<Result<Vec<_>, _>>()))
+                        .map(|pts| {
+                            s.spawn(move || pts.iter().map(vd_of).collect::<Result<Vec<_>, _>>())
+                        })
                         .collect();
                     let mut all = Vec::with_capacity(points.len());
                     for h in handles {
@@ -337,14 +339,21 @@ impl TimingTable {
         law: LatencyLaw,
         scale_ps: u64,
     ) -> Self {
-        assert_eq!(bytes.len(), bands * bands * bands, "ROM image size mismatch");
+        assert_eq!(
+            bytes.len(),
+            bands * bands * bands,
+            "ROM image size mismatch"
+        );
         Self {
             bands,
             rows,
             cols,
             content_axis,
             law,
-            entries: bytes.iter().map(|&b| (b as u64 * scale_ps) as u32).collect(),
+            entries: bytes
+                .iter()
+                .map(|&b| (b as u64 * scale_ps) as u32)
+                .collect(),
         }
     }
 
@@ -417,7 +426,10 @@ pub fn latency_vs_wl_content(
     col: usize,
     steps: usize,
 ) -> Vec<(f64, f64)> {
-    assert!(wl < params.rows && col < params.cols, "location out of bounds");
+    assert!(
+        wl < params.rows && col < params.cols,
+        "location out of bounds"
+    );
     assert!(steps > 0, "steps must be nonzero");
     (0..=steps)
         .map(|s| {
@@ -450,7 +462,11 @@ mod tests {
     fn default_table_spans_paper_range() {
         let t = default_table();
         // Worst entry equals the calibrated 658 ns (up to ps rounding).
-        assert!((t.worst_ps() as f64 - 658_000.0).abs() < 1000.0, "worst {}", t.worst_ps());
+        assert!(
+            (t.worst_ps() as f64 - 658_000.0).abs() < 1000.0,
+            "worst {}",
+            t.worst_ps()
+        );
         // Best entry is close to, and at least, the 29 ns anchor (band
         // quantization keeps it above the absolute best case).
         assert!(t.best_ps() >= 29_000);
@@ -485,7 +501,10 @@ mod tests {
         let coarse = t.lookup_ps(127, 127, 128);
         assert!(coarse >= fine);
         // Saturating content lookup equals the worst content band.
-        assert_eq!(t.lookup_ps(100, 100, usize::MAX), t.lookup_ps(100, 100, 512));
+        assert_eq!(
+            t.lookup_ps(100, 100, usize::MAX),
+            t.lookup_ps(100, 100, 512)
+        );
     }
 
     #[test]
@@ -598,7 +617,10 @@ mod tests {
                         a >= m * 0.85,
                         "analytic entry ({c},{w},{b}) = {a} not conservative vs MNA {m}"
                     );
-                    assert!(a <= m * 6.0, "analytic entry ({c},{w},{b}) = {a} too far above MNA {m}");
+                    assert!(
+                        a <= m * 6.0,
+                        "analytic entry ({c},{w},{b}) = {a} too far above MNA {m}"
+                    );
                 }
             }
         }

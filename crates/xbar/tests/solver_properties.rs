@@ -8,9 +8,8 @@ use proptest::prelude::*;
 
 fn arb_case() -> impl Strategy<Value = (usize, usize, usize, usize)> {
     // (size, target_wl, target_bl, wl_ones) over solver-friendly mats.
-    (6usize..14).prop_flat_map(|n| {
-        (Just(n), 0..n, 0..n, 0..=n).prop_map(|(n, w, b, ones)| (n, w, b, ones))
-    })
+    (6usize..14)
+        .prop_flat_map(|n| (Just(n), 0..n, 0..n, 0..=n).prop_map(|(n, w, b, ones)| (n, w, b, ones)))
 }
 
 proptest! {

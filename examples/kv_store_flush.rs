@@ -20,7 +20,9 @@ fn kv_trace(base_page: u64) -> VecTrace {
     let mut events = Vec::new();
     let mut x = 0xD1CEu64;
     let mut rng = move || {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         x
     };
     for burst in 0..10u64 {
@@ -63,7 +65,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<16}{:>11}{:>10}{:>10}{:>15}{:>9}{:>12}",
         "scheme", "read (ns)", "P95 (ns)", "P99 (ns)", "write svc (ns)", "IPC", "runtime (us)"
     );
-    for scheme in [Scheme::Baseline, Scheme::SplitReset, Scheme::Blp, Scheme::LadderHybrid] {
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::SplitReset,
+        Scheme::Blp,
+        Scheme::LadderHybrid,
+    ] {
         let mut b = SystemBuilder::with_tables(scheme, &tables);
         b.core(Box::new(kv_trace(base_page)), 8);
         let r = b.run();

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )[0]
         .1;
         println!("  wl_ones {ones:>2}: exact Vd = {exact:.3} V, analytic = {approx:.3} V");
-        assert!(approx <= exact + 0.02, "analytic estimate must stay conservative");
+        assert!(
+            approx <= exact + 0.02,
+            "analytic estimate must stay conservative"
+        );
     }
     Ok(())
 }

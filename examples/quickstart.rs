@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Build the LADDER engine (Hybrid variant) and a memory image.
     let map = AddressMap::new(Geometry::default());
-    let mut engine = LadderEngine::new(LadderConfig::for_variant(LadderVariant::Hybrid), map.clone());
+    let mut engine = LadderEngine::new(
+        LadderConfig::for_variant(LadderVariant::Hybrid),
+        map.clone(),
+    );
     let mut store = LineStore::new();
     println!(
         "metadata reserves {:.2}% of memory; data starts at page {}",

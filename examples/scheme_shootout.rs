@@ -25,12 +25,22 @@ fn main() {
         ..Default::default()
     };
     let tables = cfg.tables();
-    println!("workload {} ({} instructions/core)\n", workload.label(), cfg.instructions_per_core);
+    println!(
+        "workload {} ({} instructions/core)\n",
+        workload.label(),
+        cfg.instructions_per_core
+    );
     println!(
         "{:<16}{:>10}{:>14}{:>14}{:>12}{:>12}",
         "scheme", "speedup", "read lat(ns)", "write svc(ns)", "extra rd", "extra wr"
     );
-    let base = run_one(Scheme::Baseline, workload, &cfg, &tables, RunOptions::default());
+    let base = run_one(
+        Scheme::Baseline,
+        workload,
+        &cfg,
+        &tables,
+        RunOptions::default(),
+    );
     let mut hybrid_summary = String::new();
     for scheme in Scheme::MAIN_EVAL {
         let r = run_one(scheme, workload, &cfg, &tables, RunOptions::default());
@@ -60,7 +70,9 @@ fn main() {
             r.mem.additional_write_fraction() * 100.0
         );
     }
-    println!("
+    println!(
+        "
 LADDER-Hybrid in detail:
-{hybrid_summary}");
+{hybrid_summary}"
+    );
 }

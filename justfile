@@ -22,7 +22,7 @@ main-eval jobs="4":
 smoke:
     cargo build --release -p ladder-bench --offline
     for bin in fig2 fig4b fig11 fig15 main_eval lifetime variability tables \
-               ablations crash mna_table extension; do \
+               ablations crash mna_table extension faults; do \
         echo "-> $bin"; \
         ./target/release/$bin --quick --jobs 2 >/dev/null; \
     done

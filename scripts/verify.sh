@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release"
 cargo build --release --workspace --offline
 
@@ -19,7 +22,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # (arg parsing, figure assembly, the event kernel under each scheme).
 echo "==> smoke: ladder-bench binaries (--quick --jobs 2)"
 for bin in fig2 fig4b fig11 fig15 main_eval lifetime variability tables \
-           ablations crash mna_table extension; do
+           ablations crash mna_table extension faults; do
     echo "  -> $bin"
     ./target/release/"$bin" --quick --jobs 2 >/dev/null
 done

@@ -13,6 +13,7 @@
 //! * [`workloads`] — synthetic SPEC/PARSEC stand-ins
 //! * [`energy`] — dynamic energy model
 //! * [`wear`] — wear-leveling and lifetime
+//! * [`faults`] — device fault injection, program-and-verify, ECC/remap
 //! * [`sim`] — the system simulator and paper experiments
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
@@ -48,15 +49,16 @@
 /// The shared `(ladder, blp)` timing-table bundle, re-exported at the top
 /// level because nearly every entry point takes one.
 pub use ladder_memctrl::Tables;
-/// The parallel experiment runner and its job/statistics types.
-pub use ladder_sim::{AloneIpcCache, RunSpec, Runner, RunnerStats};
 /// Per-event-kind dispatch counters of the discrete-event kernel.
 pub use ladder_sim::EventCounts;
+/// The parallel experiment runner and its job/statistics types.
+pub use ladder_sim::{AloneIpcCache, RunSpec, Runner, RunnerStats};
 
 pub use ladder_baselines as baselines;
 pub use ladder_core as core;
 pub use ladder_cpu as cpu;
 pub use ladder_energy as energy;
+pub use ladder_faults as faults;
 pub use ladder_memctrl as memctrl;
 pub use ladder_reram as reram;
 pub use ladder_sim as sim;

@@ -26,7 +26,10 @@ fn recovery_is_conservative_then_converges() {
     }
     let addr = LineAddr::new(base * 64);
     let cw_before = engine.peek_cw(addr, &store);
-    assert!(cw_before <= 128, "sparse page should estimate low ({cw_before})");
+    assert!(
+        cw_before <= 128,
+        "sparse page should estimate low ({cw_before})"
+    );
 
     // Crash: cache contents lost; metadata region conservatively saturated.
     engine.lazy_crash_correction(&mut store);

@@ -21,7 +21,13 @@ fn every_scheme_completes_a_single_workload() {
     let cfg = quick_cfg();
     let tables = cfg.tables();
     for scheme in Scheme::MAIN_EVAL {
-        let r = run_one(scheme, Workload::Single("astar"), &cfg, &tables, RunOptions::default());
+        let r = run_one(
+            scheme,
+            Workload::Single("astar"),
+            &cfg,
+            &tables,
+            RunOptions::default(),
+        );
         assert!(r.cores[0].retired > 0, "{scheme}: no instructions retired");
         assert!(r.mem.data_writes > 0, "{scheme}: no writes serviced");
         assert!(r.mem.demand_reads > 0, "{scheme}: no reads serviced");
@@ -71,7 +77,10 @@ fn paper_scheme_ordering_holds_on_write_service() {
     assert!(oracle <= est * 1.02, "oracle {oracle} vs est {est}");
     assert!(est < blp, "LADDER-Est {est} must beat BLP {blp}");
     assert!(blp < split, "BLP {blp} must beat Split-reset {split}");
-    assert!(split < baseline, "Split-reset {split} must beat baseline {baseline}");
+    assert!(
+        split < baseline,
+        "Split-reset {split} must beat baseline {baseline}"
+    );
 }
 
 #[test]
@@ -80,7 +89,13 @@ fn ladder_speedup_is_substantial_on_mixes() {
     let tables = cfg.tables();
     let w = Workload::Mix("mix-7");
     let base = run_one(Scheme::Baseline, w, &cfg, &tables, RunOptions::default());
-    let hyb = run_one(Scheme::LadderHybrid, w, &cfg, &tables, RunOptions::default());
+    let hyb = run_one(
+        Scheme::LadderHybrid,
+        w,
+        &cfg,
+        &tables,
+        RunOptions::default(),
+    );
     let speedup: f64 = hyb
         .cores
         .iter()
@@ -101,7 +116,13 @@ fn metadata_traffic_ranks_basic_above_est_above_hybrid() {
     let w = Workload::Single("cannl");
     let basic = run_one(Scheme::LadderBasic, w, &cfg, &tables, RunOptions::default());
     let est = run_one(Scheme::LadderEst, w, &cfg, &tables, RunOptions::default());
-    let hybrid = run_one(Scheme::LadderHybrid, w, &cfg, &tables, RunOptions::default());
+    let hybrid = run_one(
+        Scheme::LadderHybrid,
+        w,
+        &cfg,
+        &tables,
+        RunOptions::default(),
+    );
     assert!(
         basic.mem.additional_read_fraction() > est.mem.additional_read_fraction(),
         "SMB reads must make Basic's read overhead the largest"
@@ -118,7 +139,13 @@ fn wear_leveling_keeps_most_of_the_performance() {
     let cfg = quick_cfg();
     let tables = cfg.tables();
     let w = Workload::Single("lbm");
-    let plain = run_one(Scheme::LadderHybrid, w, &cfg, &tables, RunOptions::default());
+    let plain = run_one(
+        Scheme::LadderHybrid,
+        w,
+        &cfg,
+        &tables,
+        RunOptions::default(),
+    );
     let leveled = run_one(
         Scheme::LadderHybrid,
         w,

@@ -58,7 +58,10 @@ fn est_estimates_always_bound_exact_counts() {
         let addr = ladder::reram::LineAddr::new(page * 64);
         let est = engine.peek_cw(addr, &store);
         let exact = exact_of_page(&store, page);
-        assert!(est >= exact, "page {page}: estimate {est} below exact {exact}");
+        assert!(
+            est >= exact,
+            "page {page}: estimate {est} below exact {exact}"
+        );
     }
 }
 
@@ -69,7 +72,10 @@ fn hybrid_estimates_always_bound_exact_counts() {
         let addr = ladder::reram::LineAddr::new(page * 64);
         let est = engine.peek_cw(addr, &store);
         let exact = exact_of_page(&store, page);
-        assert!(est >= exact, "page {page}: estimate {est} below exact {exact}");
+        assert!(
+            est >= exact,
+            "page {page}: estimate {est} below exact {exact}"
+        );
     }
 }
 
@@ -81,7 +87,8 @@ fn transforms_preserve_read_contents_over_a_long_run() {
     let mut store = LineStore::new();
     let base = engine.layout().first_data_page().max(40_000);
     let mut gen = WorkloadGen::new(profile_of("astar"), 7, base, 2_000, 8_000);
-    let mut last_written: std::collections::HashMap<u64, LineData> = std::collections::HashMap::new();
+    let mut last_written: std::collections::HashMap<u64, LineData> =
+        std::collections::HashMap::new();
     while let Some(ev) = gen.next_event() {
         if let TraceOp::Write { addr, data } = ev.op {
             engine.prepare_write(addr);
@@ -92,7 +99,11 @@ fn transforms_preserve_read_contents_over_a_long_run() {
     assert!(last_written.len() > 1000);
     for (&raw, expect) in &last_written {
         let addr = ladder::reram::LineAddr::new(raw);
-        assert_eq!(&engine.read_line(addr, &store), expect, "line {raw:#x} corrupted");
+        assert_eq!(
+            &engine.read_line(addr, &store),
+            expect,
+            "line {raw:#x} corrupted"
+        );
     }
 }
 
@@ -112,7 +123,9 @@ fn layout_wordline_agrees_with_the_address_map() {
     );
     let mut x = 0xABCDu64;
     for _ in 0..5000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let page = x % geometry.pages() as u64;
         let decoded = map.decode(ladder::reram::LineAddr::new(page * 64)).wordline as u64;
         assert_eq!(
@@ -140,7 +153,9 @@ fn full_page_shifting_can_beat_accurate_counting() {
     };
     let pattern = PagePattern::for_page(77, 1);
     let mut rng = SplitMix64::new(5);
-    let lines: Vec<LineData> = (0..64).map(|_| generate_line(&spec, &pattern, &mut rng)).collect();
+    let lines: Vec<LineData> = (0..64)
+        .map(|_| generate_line(&spec, &pattern, &mut rng))
+        .collect();
     let accurate = exact_cw_lrs(lines.iter());
     let shifted: Vec<LineData> = lines
         .iter()

@@ -40,8 +40,14 @@ fn parallel_main_eval_is_bit_identical_to_sequential() {
     // The event kernel itself is deterministic: the same batch dispatches
     // exactly the same number of each event kind at any worker count, and
     // simulates the same total time.
-    assert_eq!(seq.stats.events, par.stats.events, "kernel dispatch counts diverged");
-    assert!(seq.stats.events.total() > 0, "kernel counters were never absorbed");
+    assert_eq!(
+        seq.stats.events, par.stats.events,
+        "kernel dispatch counts diverged"
+    );
+    assert!(
+        seq.stats.events.total() > 0,
+        "kernel counters were never absorbed"
+    );
     assert_eq!(seq.stats.sim_time, par.stats.sim_time);
     assert_series_identical(&seq.fig16_speedup(), &par.fig16_speedup());
     assert_series_identical(&seq.fig12_write_service(), &par.fig12_write_service());
@@ -49,7 +55,12 @@ fn parallel_main_eval_is_bit_identical_to_sequential() {
     for (a, b) in seq.workloads.iter().zip(&par.workloads) {
         assert_eq!(a.workload, b.workload);
         for (x, y) in a.speedups.iter().zip(&b.speedups) {
-            assert_eq!(x.to_bits(), y.to_bits(), "{:?} speedups diverged", a.workload);
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{:?} speedups diverged",
+                a.workload
+            );
         }
     }
 }
