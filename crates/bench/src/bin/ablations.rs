@@ -3,7 +3,7 @@
 //! rows, timing-table granularity, drain watermarks, and vertical
 //! wear-leveling granularity.
 
-use ladder_bench::{config_from_args, report_runner, runner_from_args};
+use ladder_bench::{config_from_args, emit_trace_if_requested, report_runner, runner_from_args};
 use ladder_sim::ablations::*;
 use ladder_sim::experiments::Workload;
 
@@ -41,4 +41,5 @@ fn main() {
     println!("== vertical wear-leveling granularity (LADDER-Est, astar) ==");
     println!("{}", render(&vwl_comparison(&cfg, w, &runner)));
     report_runner(&runner);
+    emit_trace_if_requested(&cfg);
 }

@@ -1,7 +1,7 @@
 //! Regenerates the Section 7 crash-consistency study: write-latency decay
 //! after lazy LRS-metadata correction.
 
-use ladder_bench::config_from_args;
+use ladder_bench::{config_from_args, emit_trace_if_requested};
 use ladder_sim::experiments::crash_recovery;
 
 fn main() {
@@ -18,4 +18,5 @@ fn main() {
             100.0 * r.steady_twr_ns / last.max(1e-9)
         );
     }
+    emit_trace_if_requested(&cfg);
 }

@@ -1,7 +1,7 @@
 //! Evaluates the paper's Section 8 future-work idea: LADDER combined with
 //! adaptive remapping of write-hot pages to low-latency (bottom) rows.
 
-use ladder_bench::{config_from_args, report_runner, runner_from_args};
+use ladder_bench::{config_from_args, emit_trace_if_requested, report_runner, runner_from_args};
 use ladder_sim::experiments::{hot_remap_extension, Workload};
 
 fn main() {
@@ -29,4 +29,5 @@ fn main() {
         );
     }
     report_runner(&runner);
+    emit_trace_if_requested(&cfg);
 }

@@ -6,7 +6,7 @@
 //! the physical timing table); they differ in what a verify read and a
 //! retry pulse cost them.
 
-use ladder_bench::{config_from_args, report_runner, runner_from_args};
+use ladder_bench::{config_from_args, emit_trace_if_requested, report_runner, runner_from_args};
 use ladder_sim::experiments::{error_rate_sweep, Workload};
 
 fn main() {
@@ -41,4 +41,5 @@ fn main() {
         );
     }
     report_runner(&runner);
+    emit_trace_if_requested(&cfg);
 }

@@ -2,6 +2,8 @@
 //! for the two extreme wordline data patterns (sub-tables of the timing
 //! table for the lowest and highest content bands).
 
+use ladder_bench::emit_trace_if_requested;
+use ladder_sim::experiments::ExperimentConfig;
 use ladder_xbar::{TableConfig, TimingTable};
 
 fn main() {
@@ -25,4 +27,7 @@ fn main() {
         }
         println!();
     }
+    // This binary has no simulation of its own; a requested trace runs at
+    // smoke scale.
+    emit_trace_if_requested(&ExperimentConfig::quick());
 }

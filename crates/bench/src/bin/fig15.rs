@@ -1,7 +1,7 @@
 //! Regenerates Figure 15: mean LRS-counter difference between LADDER-Est
 //! and accurate counting, without (a) and with (b) intra-line bit shifting.
 
-use ladder_bench::{config_from_args, report_runner, runner_from_args};
+use ladder_bench::{config_from_args, emit_trace_if_requested, report_runner, runner_from_args};
 use ladder_sim::experiments::fig15;
 
 fn main() {
@@ -19,4 +19,5 @@ fn main() {
         );
     }
     report_runner(&runner);
+    emit_trace_if_requested(&cfg);
 }

@@ -1,6 +1,8 @@
 //! Regenerates Figure 4b: RESET latency as a function of the selected
 //! wordline's LRS percentage, for a far cell (①) and a near cell (②).
 
+use ladder_bench::emit_trace_if_requested;
+use ladder_sim::experiments::ExperimentConfig;
 use ladder_xbar::{calibrate_device_law, latency_vs_wl_content, CrossbarParams};
 
 fn main() {
@@ -14,4 +16,7 @@ fn main() {
     for (f, n) in far.iter().zip(&near) {
         println!("{:>8.0}{:>16.1}{:>16.1}", f.0, f.1, n.1);
     }
+    // This binary has no simulation of its own; a requested trace runs at
+    // smoke scale.
+    emit_trace_if_requested(&ExperimentConfig::quick());
 }

@@ -2,7 +2,7 @@
 //! and performance of the LADDER schemes under segment-based vertical
 //! wear-leveling plus horizontal byte rotation.
 
-use ladder_bench::{config_from_args, report_runner, runner_from_args};
+use ladder_bench::{config_from_args, emit_trace_if_requested, report_runner, runner_from_args};
 use ladder_sim::experiments::{lifetime, Workload};
 
 fn main() {
@@ -24,4 +24,5 @@ fn main() {
         );
     }
     report_runner(&runner);
+    emit_trace_if_requested(&cfg);
 }

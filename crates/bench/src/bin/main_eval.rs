@@ -4,7 +4,7 @@
 //!
 //! Pass `--csv DIR` to additionally write one CSV per figure into `DIR`.
 
-use ladder_bench::{config_from_args, runner_from_args};
+use ladder_bench::{config_from_args, emit_trace_if_requested, runner_from_args};
 use ladder_sim::experiments::MainEval;
 
 fn csv_dir() -> Option<std::path::PathBuf> {
@@ -77,4 +77,5 @@ fn main() {
         dump("fig16_speedup.csv", eval.fig16_speedup().to_csv());
         eprintln!("CSV written to {}", dir.display());
     }
+    emit_trace_if_requested(&cfg);
 }

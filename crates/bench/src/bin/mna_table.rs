@@ -6,7 +6,8 @@
 //! This is the expensive end-to-end check of DESIGN.md §2's substitution
 //! argument; expect ~0.5–2 minutes of solver time.
 
-use ladder_bench::quick_requested;
+use ladder_bench::{emit_trace_if_requested, quick_requested};
+use ladder_sim::experiments::ExperimentConfig;
 use ladder_xbar::{SolverKind, TableConfig, TableSource, TimingTable};
 
 fn main() {
@@ -52,4 +53,7 @@ fn main() {
             "NO — check the estimator"
         }
     );
+    // This binary has no simulation of its own; a requested trace runs at
+    // smoke scale.
+    emit_trace_if_requested(&ExperimentConfig::quick());
 }

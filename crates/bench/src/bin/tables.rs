@@ -1,13 +1,26 @@
 //! Prints Tables 1–4: crossbar parameters, architecture parameters, the
 //! workload list, and the hardware-overhead summary.
 
+use ladder_bench::emit_trace_if_requested;
 use ladder_memctrl::MemCtrlConfig;
 use ladder_reram::{DeviceTiming, Geometry};
+use ladder_sim::experiments::ExperimentConfig;
 use ladder_workloads::{profile_of, MIXES, SINGLE_BENCHMARKS};
 use ladder_xbar::CrossbarParams;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    // The table selector is the first non-flag argument, so `--trace PATH`
+    // (and any future flags) can ride along.
+    let mut args = std::env::args().skip(1);
+    let mut which = "all".to_string();
+    while let Some(a) = args.next() {
+        if a.starts_with("--") {
+            args.next();
+        } else {
+            which = a;
+            break;
+        }
+    }
     if matches!(which.as_str(), "all" | "table1") {
         let p = CrossbarParams::default();
         println!("Table 1 — ReRAM crossbar parameters");
@@ -68,4 +81,7 @@ fn main() {
     if matches!(which.as_str(), "all" | "table4") {
         print!("{}", ladder_sim::overhead::report());
     }
+    // This binary has no simulation of its own; a requested trace runs at
+    // smoke scale.
+    emit_trace_if_requested(&ExperimentConfig::quick());
 }

@@ -1,7 +1,7 @@
 //! Regenerates the Section 7 process-variability study: LADDER-Hybrid's
 //! speedup when the device's latency dynamic range shrinks 2×.
 
-use ladder_bench::{config_from_args, report_runner, runner_from_args};
+use ladder_bench::{config_from_args, emit_trace_if_requested, report_runner, runner_from_args};
 use ladder_sim::experiments::{variability, Workload};
 
 fn main() {
@@ -22,4 +22,5 @@ fn main() {
         );
     }
     report_runner(&runner);
+    emit_trace_if_requested(&cfg);
 }

@@ -17,16 +17,19 @@
 //!
 //! Criterion micro-benchmarks for the hot kernels live under `benches/`.
 
-use ladder_sim::experiments::ExperimentConfig;
-use ladder_sim::Runner;
+use ladder_sim::experiments::{run_one, ExperimentConfig, RunOptions, Workload};
+use ladder_sim::{Runner, Scheme};
 
 /// The flags every binary accepts, printed when parsing fails.
-pub const USAGE: &str = "usage: [--quick] [--instructions N] [--seed S] [--jobs N] [--csv DIR]
+pub const USAGE: &str =
+    "usage: [--quick] [--instructions N] [--seed S] [--jobs N] [--csv DIR] [--trace PATH]
   --quick           smoke-test scale (120 k instructions per core)
   --instructions N  instructions per core (overrides --quick)
   --seed S          master workload seed (default 2021)
   --jobs N          worker threads (default: LADDER_JOBS or all cores)
-  --csv DIR         also write CSV output into DIR (main_eval only)";
+  --csv DIR         also write CSV output into DIR (main_eval only)
+  --trace PATH      additionally run one traced LADDER-Est simulation and
+                    write chrome://tracing JSON to PATH (summary on stderr)";
 
 /// Parses the experiment configuration out of an argument list
 /// (defaults: 1 M instructions, seed 2021). `--quick` starts from
@@ -54,9 +57,10 @@ pub fn parse_config(args: &[String]) -> Result<ExperimentConfig, String> {
                 cfg.seed = flag_value(args, i)?;
                 i += 2;
             }
-            "--jobs" | "--csv" => {
-                // `--jobs` is validated by parse_jobs and `--csv` is read
-                // by main_eval; here just require the value to exist.
+            "--jobs" | "--csv" | "--trace" => {
+                // `--jobs` is validated by parse_jobs, `--csv` is read by
+                // main_eval and `--trace` by parse_trace; here just
+                // require the value to exist.
                 let _: String = flag_value(args, i)?;
                 i += 2;
             }
@@ -78,6 +82,23 @@ pub fn parse_jobs(args: &[String]) -> Result<Option<usize>, String> {
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--jobs" {
+            return flag_value(args, i).map(Some);
+        }
+        i += 1;
+    }
+    Ok(None)
+}
+
+/// Parses `--trace PATH` out of an argument list. `Ok(None)` means the
+/// flag was absent (no trace requested).
+///
+/// # Errors
+///
+/// Returns a message when `--trace` is missing its value.
+pub fn parse_trace(args: &[String]) -> Result<Option<String>, String> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace" {
             return flag_value(args, i).map(Some);
         }
         i += 1;
@@ -133,6 +154,59 @@ pub fn runner_from_args() -> Runner {
     }
 }
 
+/// If `--trace PATH` was passed on the command line, runs one traced
+/// LADDER-Est simulation of `astar` at the configuration's scale, writes
+/// chrome://tracing JSON to `PATH`, and prints the per-phase
+/// time-attribution summary plus a stats-reconciliation line to stderr.
+/// Does nothing when the flag is absent. A malformed `--trace` prints a
+/// usage message and exits with status 2; an unwritable path exits with
+/// status 1.
+///
+/// Every bench binary calls this after its main output, so any of them can
+/// produce a trace without disturbing the figure pipeline (the traced run
+/// is a separate, additional simulation).
+pub fn emit_trace_if_requested(cfg: &ExperimentConfig) {
+    let path = match parse_trace(&cli_args()) {
+        Ok(Some(p)) => p,
+        Ok(None) => return,
+        Err(e) => usage_exit(&e),
+    };
+    let tables = cfg.tables();
+    let opts = RunOptions {
+        trace: true,
+        ..RunOptions::default()
+    };
+    let r = run_one(
+        Scheme::LadderEst,
+        Workload::Single("astar"),
+        cfg,
+        &tables,
+        opts,
+    );
+    let trace = r.trace.as_ref().expect("tracing was enabled");
+    let json = ladder_trace::chrome_trace_json(trace);
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("error: cannot write trace to `{path}`: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "trace: LADDER-Est/astar -> {path} ({} records, {} dropped from ring, digest {})",
+        trace.records, trace.dropped, trace.digest
+    );
+    eprintln!(
+        "trace: reconciliation — pulses {}+{} vs writes {}+{}, reads {} vs {}, dispatches {} vs {}",
+        trace.totals.data_pulses,
+        trace.totals.metadata_pulses,
+        r.mem.data_writes,
+        r.mem.metadata_writes,
+        trace.totals.demand_reads + trace.totals.smb_reads + trace.totals.metadata_reads,
+        r.mem.demand_reads + r.mem.smb_reads + r.mem.metadata_reads,
+        trace.totals.dispatch_total(),
+        r.events.total()
+    );
+    eprint!("{}", ladder_trace::time_attribution(&trace.totals));
+}
+
 /// Prints the runner's cumulative batch statistics to stderr (so figure
 /// data on stdout stays clean).
 pub fn report_runner(runner: &Runner) {
@@ -182,6 +256,19 @@ mod tests {
             parse_jobs(&args(&["--seed", "7", "--jobs", "3"])).unwrap(),
             Some(3)
         );
+    }
+
+    #[test]
+    fn trace_flag_parses_and_requires_value() {
+        assert_eq!(parse_trace(&[]).unwrap(), None);
+        assert_eq!(
+            parse_trace(&args(&["--quick", "--trace", "/tmp/t.json"])).unwrap(),
+            Some("/tmp/t.json".to_string())
+        );
+        // parse_config tolerates it like --jobs/--csv.
+        parse_config(&args(&["--trace", "/tmp/t.json"])).unwrap();
+        let err = parse_trace(&args(&["--trace"])).unwrap_err();
+        assert!(err.contains("missing its value"), "{err}");
     }
 
     #[test]

@@ -81,6 +81,24 @@ impl FaultStats {
             self.retired_pages
         )
     }
+
+    /// Accumulates another model's counters into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.data_writes += other.data_writes;
+        self.transient_bit_errors += other.transient_bit_errors;
+        self.stuck_cells += other.stuck_cells;
+        self.corrected_bits += other.corrected_bits;
+        self.uncorrectable_lines += other.uncorrectable_lines;
+        self.data_loss_bits += other.data_loss_bits;
+        self.retired_pages += other.retired_pages;
+        self.retire_exhausted += other.retire_exhausted;
+    }
+}
+
+impl ladder_trace::Mergeable for FaultStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
 }
 
 /// The per-cell fault model (see the module docs for the two channels).

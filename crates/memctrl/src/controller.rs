@@ -11,11 +11,13 @@
 //! not be pinned park in a spill buffer that retries on write→read
 //! switches, as Section 3.3 describes.
 
-use crate::histogram::LatencyHistogram;
 use crate::policy::WritePolicy;
 use ladder_core::{ReadKind, SpillBuffer};
 use ladder_reram::{
     AddressMap, DeviceTiming, EventQueue, Instant, LineAddr, LineData, LineStore, Picos, WlgId,
+};
+use ladder_trace::{
+    LatencyHistogram, Mergeable, PulseKind, ReadClass, TraceRecord, TraceRecorder, C_LRS_UNTRACKED,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -144,6 +146,30 @@ pub struct MemStats {
 }
 
 impl MemStats {
+    /// Folds another controller's statistics into this one (peaks take
+    /// the maximum; everything else adds).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.demand_reads += other.demand_reads;
+        self.demand_read_latency += other.demand_read_latency;
+        self.smb_reads += other.smb_reads;
+        self.metadata_reads += other.metadata_reads;
+        self.data_writes += other.data_writes;
+        self.metadata_writes += other.metadata_writes;
+        self.write_service_time += other.write_service_time;
+        self.t_wr_data += other.t_wr_data;
+        self.t_wr_metadata += other.t_wr_metadata;
+        self.bits_set += other.bits_set;
+        self.bits_reset += other.bits_reset;
+        self.drain_switches += other.drain_switches;
+        self.wrq_peak = self.wrq_peak.max(other.wrq_peak);
+        self.spill_peak = self.spill_peak.max(other.spill_peak);
+        self.failed_verifies += other.failed_verifies;
+        self.retries_issued += other.retries_issued;
+        self.retry_time += other.retry_time;
+        self.ecc_corrected_bits += other.ecc_corrected_bits;
+        self.uncorrectable_writes += other.uncorrectable_writes;
+    }
+
     /// Mean demand read latency.
     pub fn avg_read_latency(&self) -> Picos {
         if self.demand_reads == 0 {
@@ -180,6 +206,12 @@ impl MemStats {
         } else {
             self.metadata_writes as f64 / self.data_writes as f64
         }
+    }
+}
+
+impl Mergeable for MemStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
     }
 }
 
@@ -245,6 +277,7 @@ struct WriteEntry {
     data: LineData,
     kind: WKind,
     prepared: bool,
+    enqueued_at: Instant,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -350,6 +383,7 @@ pub struct MemoryController {
     observer: Option<Box<dyn ObserverDebug>>,
     fault_injector: Option<Box<dyn InjectorDebug>>,
     wakes: EventQueue<CtrlWake>,
+    recorder: TraceRecorder,
 }
 
 /// Internal marker combining the observer trait with Debug for derive.
@@ -404,7 +438,25 @@ impl MemoryController {
             observer: None,
             fault_injector: None,
             wakes: EventQueue::new(),
+            recorder: TraceRecorder::disabled(),
         }
+    }
+
+    /// Installs a trace recorder (pass [`TraceRecorder::enabled`] to start
+    /// capturing; the default is the free disabled recorder).
+    pub fn set_trace_recorder(&mut self, recorder: TraceRecorder) {
+        self.recorder = recorder;
+    }
+
+    /// The controller's trace recorder.
+    pub fn trace_recorder(&self) -> &TraceRecorder {
+        &self.recorder
+    }
+
+    /// Takes the trace recorder out (for trace assembly), leaving a
+    /// disabled one behind.
+    pub fn take_trace_recorder(&mut self) -> TraceRecorder {
+        std::mem::replace(&mut self.recorder, TraceRecorder::disabled())
     }
 
     /// Installs a write observer (e.g. a wear model).
@@ -527,6 +579,7 @@ impl MemoryController {
             data,
             kind: WKind::Data,
             prepared: false,
+            enqueued_at: now,
         };
         // Push first, then prepare: metadata write-backs evicted by the
         // prepare go through the bounded overflow path instead of pushing
@@ -546,7 +599,13 @@ impl MemoryController {
     /// write-backs into the queues.
     fn prepare_entry(&mut self, entry: &mut WriteEntry, now: Instant) {
         debug_assert_eq!(entry.kind, WKind::Data);
+        let cache_before = if self.recorder.is_enabled() {
+            self.policy.cache_counters()
+        } else {
+            None
+        };
         let prep = self.policy.prepare(entry.addr, &self.store);
+        self.trace_cache_delta(now, cache_before, prep.writebacks.len() as u32);
         for wb in &prep.writebacks {
             self.enqueue_metadata_writeback(*wb, now);
         }
@@ -597,6 +656,38 @@ impl MemoryController {
         }
     }
 
+    /// Emits a [`TraceRecord::CacheAccess`] for the hit/miss delta a
+    /// policy call produced, so trace totals reconcile exactly with the
+    /// metadata cache's own counters. All-zero deltas are skipped.
+    fn trace_cache_delta(&mut self, now: Instant, before: Option<(u64, u64)>, writebacks: u32) {
+        let Some((h0, m0)) = before else {
+            if writebacks > 0 && self.recorder.is_enabled() {
+                self.recorder.record(
+                    now,
+                    TraceRecord::CacheAccess {
+                        hits: 0,
+                        misses: 0,
+                        writebacks,
+                    },
+                );
+            }
+            return;
+        };
+        let (h1, m1) = self.policy.cache_counters().unwrap_or((h0, m0));
+        let hits = (h1 - h0) as u32;
+        let misses = (m1 - m0) as u32;
+        if hits > 0 || misses > 0 || writebacks > 0 {
+            self.recorder.record(
+                now,
+                TraceRecord::CacheAccess {
+                    hits,
+                    misses,
+                    writebacks,
+                },
+            );
+        }
+    }
+
     fn enqueue_metadata_writeback(&mut self, addr: LineAddr, now: Instant) {
         let id = self.fresh_id();
         let entry = WriteEntry {
@@ -605,6 +696,7 @@ impl MemoryController {
             data: self.store.read(addr),
             kind: WKind::MetadataWriteback,
             prepared: true,
+            enqueued_at: now,
         };
         let ch = self.channel_of(addr);
         let c = &mut self.channels[ch];
@@ -796,6 +888,20 @@ impl MemoryController {
         let completion = burst_start + timing.t_burst;
         self.banks[bank] = completion;
         self.wakes.schedule(completion, CtrlWake::BankFree);
+        if self.recorder.is_enabled() {
+            let class = match entry.kind {
+                RKind::Demand => ReadClass::Demand,
+                RKind::Smb => ReadClass::Smb,
+                RKind::Metadata => ReadClass::Metadata,
+            };
+            self.recorder.record(
+                completion,
+                TraceRecord::ReadComplete {
+                    class,
+                    latency: completion.duration_since(entry.enqueued_at),
+                },
+            );
+        }
         match entry.kind {
             RKind::Demand => {
                 self.stats.demand_reads += 1;
@@ -843,18 +949,25 @@ impl MemoryController {
         let entry = self.channels[ch].wrq.remove(idx);
         self.write_deps.remove(&entry.id);
         let bank = self.bank_of(entry.addr);
-        let (t_wr, bits_set, bits_reset) = match entry.kind {
+        let (t_wr, bits_set, bits_reset, cw_lrs) = match entry.kind {
             WKind::Data => {
+                let cache_before = if self.recorder.is_enabled() {
+                    self.policy.cache_counters()
+                } else {
+                    None
+                };
                 let r = self.policy.service(entry.addr, entry.data, &mut self.store);
-                (r.t_wr, r.bits_set, r.bits_reset)
+                self.trace_cache_delta(now, cache_before, 0);
+                (r.t_wr, r.bits_set, r.bits_reset, r.cw_lrs)
             }
             WKind::MetadataWriteback => {
                 let t = self.policy.metadata_write_latency(entry.addr);
                 let (s, r) = self.policy.metadata_writeback_bits(entry.addr, &self.store);
-                (t, s, r)
+                (t, s, r, None)
             }
         };
         let mut lat = timing.write_latency(t_wr);
+        let mut write_retry_time = Picos::ZERO;
         // Program-and-verify: each failed verify triggers exactly one
         // escalated retry pulse (verify read + longer RESET), extending
         // this write's bank occupancy so read blocking is modeled
@@ -871,9 +984,15 @@ impl MemoryController {
                     self.stats.retries_issued += 1;
                     // The verify read precedes the retry pulse.
                     let pulse = timing.write_latency(inj.retry_t_wr(t_wr, attempt));
-                    self.wakes.schedule(
-                        now + lat + retry_time + timing.read_latency(),
-                        CtrlWake::RetryPulse,
+                    let pulse_start = now + lat + retry_time + timing.read_latency();
+                    self.wakes.schedule(pulse_start, CtrlWake::RetryPulse);
+                    self.recorder.record(
+                        pulse_start,
+                        TraceRecord::VerifyRetry {
+                            attempt,
+                            failed_bits: residual,
+                            pulse,
+                        },
                     );
                     retry_time += timing.read_latency() + pulse;
                     residual = inj.program(entry.addr, &mut self.store, attempt, t_wr);
@@ -883,13 +1002,19 @@ impl MemoryController {
                     // residue to ECC / retire-and-remap. No verify is
                     // charged after the final pulse — nothing could act
                     // on it.
+                    let resolved_at = now + lat + retry_time;
                     if inj.resolve(entry.addr, residual, &mut self.store) {
                         self.stats.ecc_corrected_bits += residual as u64;
+                        self.recorder
+                            .record(resolved_at, TraceRecord::EccCorrection { bits: residual });
                     } else {
                         self.stats.uncorrectable_writes += 1;
+                        self.recorder
+                            .record(resolved_at, TraceRecord::Uncorrectable);
                     }
                 }
                 self.stats.retry_time += retry_time;
+                write_retry_time = retry_time;
                 lat += retry_time;
             }
         }
@@ -903,6 +1028,34 @@ impl MemoryController {
         // The write-queue slot frees the moment the write dispatches, so
         // writers rejected on a full queue can retry at `now`.
         self.wakes.schedule(now, CtrlWake::QueueSlotFree);
+        if self.recorder.is_enabled() {
+            let (wl, bl) = self.map.write_location(entry.addr);
+            let (kind, t_worst, t_loc) = match entry.kind {
+                WKind::Data => {
+                    let bounds = self.policy.pulse_bounds(entry.addr);
+                    let (w, l) = bounds
+                        .map(|b| (b.worst, b.location))
+                        .unwrap_or((t_wr, t_wr));
+                    (PulseKind::Data, w, l)
+                }
+                WKind::MetadataWriteback => (PulseKind::Metadata, t_wr, t_wr),
+            };
+            self.recorder.record(
+                now,
+                TraceRecord::ResetPulse {
+                    kind,
+                    wl: wl as u32,
+                    bl: bl as u32,
+                    c_lrs: cw_lrs.map(u32::from).unwrap_or(C_LRS_UNTRACKED),
+                    t_wr,
+                    queue_wait: now.duration_since(entry.enqueued_at),
+                    retry_time: write_retry_time,
+                    service: completion.duration_since(now),
+                    t_worst,
+                    t_loc,
+                },
+            );
+        }
         match entry.kind {
             WKind::Data => {
                 self.stats.data_writes += 1;

@@ -31,14 +31,15 @@
 //! ```
 
 mod controller;
-mod histogram;
 mod policy;
 
 pub use controller::{
     AccessObserver, CtrlWake, FaultInjector, MemCtrlConfig, MemStats, MemoryController, ReqId,
 };
-pub use histogram::LatencyHistogram;
+/// The latency histogram now lives in `ladder-trace` (re-exported here
+/// for compatibility with existing callers).
+pub use ladder_trace::LatencyHistogram;
 pub use policy::{
     standard_tables, BlpPolicy, CwTrace, FixedWorstPolicy, LadderPolicy, LocationAwarePolicy,
-    OraclePolicy, PrepResult, ServiceResult, SplitResetPolicy, Tables, WritePolicy,
+    OraclePolicy, PrepResult, PulseBounds, ServiceResult, SplitResetPolicy, Tables, WritePolicy,
 };

@@ -34,6 +34,20 @@ pub struct ServiceResult {
     pub bits_set: u32,
     /// Cells switched 1→0.
     pub bits_reset: u32,
+    /// The content counter the scheme charged the write with (`C^w_lrs`
+    /// for LADDER/oracle, `C_b` for BLP), when it tracks one.
+    pub cw_lrs: Option<u16>,
+}
+
+/// Reference pulse widths for one write location, for trace-time
+/// attribution: what an oblivious controller would charge (`worst`) and
+/// what location awareness alone would charge (`location`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PulseBounds {
+    /// Device worst-case pulse width.
+    pub worst: Picos,
+    /// This ⟨WL, BL⟩ under worst-case content.
+    pub location: Picos,
 }
 
 /// Running sums for the estimation-accuracy experiment (paper Fig. 15).
@@ -101,6 +115,23 @@ pub trait WritePolicy: std::fmt::Debug + Send {
         None
     }
 
+    /// Cumulative metadata-cache `(hits, misses)` counters, when the
+    /// scheme has a metadata cache. The controller traces cache activity
+    /// as before/after deltas of these, so trace totals reconcile exactly
+    /// with the cache's own statistics.
+    fn cache_counters(&self) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// Reference pulse widths for attribution at `addr`, when the scheme
+    /// distinguishes them. `None` means the scheme has no
+    /// location/content decomposition (its chosen pulse is its own
+    /// bound).
+    fn pulse_bounds(&self, addr: LineAddr) -> Option<PulseBounds> {
+        let _ = addr;
+        None
+    }
+
     /// `(flips cancelled, flip opportunities)` under the counting-safe FNW
     /// variant, when the scheme tracks them.
     fn fnw_stats(&self) -> Option<(u64, u64)> {
@@ -113,6 +144,16 @@ pub trait WritePolicy: std::fmt::Debug + Send {
     /// schemes survive crashes untouched.
     fn crash_recover(&mut self, store: &mut LineStore) {
         let _ = store;
+    }
+}
+
+/// Attribution bounds of a location-aware scheme: the table's worst entry
+/// vs. this write location under worst-case content.
+fn location_bounds(table: &TimingTable, map: &AddressMap, addr: LineAddr) -> PulseBounds {
+    let (wl, col) = map.write_location(addr);
+    PulseBounds {
+        worst: Picos::from_ps(table.worst_ps()),
+        location: Picos::from_ps(table.lookup_ps(wl, col, usize::MAX)),
     }
 }
 
@@ -156,7 +197,16 @@ impl WritePolicy for FixedWorstPolicy {
             t_wr: self.t_worst,
             bits_set: out.bits_set,
             bits_reset: out.bits_reset,
+            cw_lrs: None,
         }
+    }
+
+    fn pulse_bounds(&self, _addr: LineAddr) -> Option<PulseBounds> {
+        // Oblivious on both axes: charged == location bound == worst.
+        Some(PulseBounds {
+            worst: self.t_worst,
+            location: self.t_worst,
+        })
     }
 }
 
@@ -187,7 +237,12 @@ impl WritePolicy for LocationAwarePolicy {
             t_wr: Picos::from_ps(self.table.lookup_ps(wl, col, usize::MAX)),
             bits_set: out.bits_set,
             bits_reset: out.bits_reset,
+            cw_lrs: None,
         }
+    }
+
+    fn pulse_bounds(&self, addr: LineAddr) -> Option<PulseBounds> {
+        Some(location_bounds(&self.table, &self.map, addr))
     }
 }
 
@@ -221,7 +276,12 @@ impl WritePolicy for OraclePolicy {
             t_wr: Picos::from_ps(self.table.lookup_ps(wl, col, cw as usize)),
             bits_set: out.bits_set,
             bits_reset: out.bits_reset,
+            cw_lrs: Some(cw),
         }
+    }
+
+    fn pulse_bounds(&self, addr: LineAddr) -> Option<PulseBounds> {
+        Some(location_bounds(&self.table, &self.map, addr))
     }
 }
 
@@ -271,7 +331,12 @@ impl WritePolicy for BlpPolicy {
             t_wr: Picos::from_ps(self.table.lookup_ps(wl, col, cb as usize)),
             bits_set: out.bits_set,
             bits_reset: out.bits_reset,
+            cw_lrs: Some(cb),
         }
+    }
+
+    fn pulse_bounds(&self, addr: LineAddr) -> Option<PulseBounds> {
+        Some(location_bounds(&self.table, &self.map, addr))
     }
 }
 
@@ -302,6 +367,7 @@ impl WritePolicy for SplitResetPolicy {
             t_wr,
             bits_set: out.bits_set,
             bits_reset: out.bits_reset,
+            cw_lrs: None,
         }
     }
 }
@@ -383,6 +449,7 @@ impl WritePolicy for LadderPolicy {
             )),
             bits_set: out.bits_set,
             bits_reset: out.bits_reset,
+            cw_lrs: Some(out.cw_lrs),
         }
     }
 
@@ -405,6 +472,15 @@ impl WritePolicy for LadderPolicy {
 
     fn cache_hit_ratio(&self) -> Option<f64> {
         Some(self.engine.cache().stats().hit_ratio())
+    }
+
+    fn cache_counters(&self) -> Option<(u64, u64)> {
+        let s = self.engine.cache().stats();
+        Some((s.hits, s.misses))
+    }
+
+    fn pulse_bounds(&self, addr: LineAddr) -> Option<PulseBounds> {
+        Some(location_bounds(&self.table, &self.map, addr))
     }
 
     fn fnw_stats(&self) -> Option<(u64, u64)> {

@@ -152,6 +152,8 @@ pub struct RunOptions {
     /// Install the device fault model (stuck-at + transient write
     /// failures, P&V retries, ECC/retire recovery).
     pub faults: Option<FaultConfig>,
+    /// Capture a structured trace ([`RunResult::trace`]).
+    pub trace: bool,
 }
 
 /// Runs one `(scheme, workload)` cell of the evaluation matrix.
@@ -176,6 +178,7 @@ pub fn run_one(
     if let Some(fcfg) = opts.faults {
         b.faults(fcfg);
     }
+    b.tracing(opts.trace);
     b.run()
 }
 

@@ -150,6 +150,12 @@ impl RunnerStats {
     }
 }
 
+impl ladder_trace::Mergeable for RunnerStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
 impl Default for RunnerStats {
     fn default() -> Self {
         RunnerStats {

@@ -19,6 +19,7 @@ use ladder_memctrl::{
     CtrlWake, CwTrace, LatencyHistogram, MemCtrlConfig, MemStats, MemoryController, ReqId, Tables,
 };
 use ladder_reram::{AddressMap, EventQueue, Geometry, Instant, LineAddr, Picos};
+use ladder_trace::{DispatchKind, Mergeable, Trace, TraceRecord, TraceRecorder};
 use ladder_wear::{RotateHwl, SharedRetirePool, SharedWearMap, WearLeveler};
 use ladder_xbar::{CrossbarParams, TimingTable};
 use std::collections::{HashMap, VecDeque};
@@ -67,6 +68,9 @@ pub struct RunResult {
     /// Per-[`EventKind`](EventCounts) dispatch counters of the event
     /// kernel that drove this run.
     pub events: EventCounts,
+    /// The assembled structured trace, when tracing was requested
+    /// ([`SystemBuilder::tracing`]).
+    pub trace: Option<Trace>,
 }
 
 impl RunResult {
@@ -208,6 +212,7 @@ pub struct SystemBuilder {
     energy_params: EnergyParams,
     ladder_override: Option<LadderConfig>,
     fault_cfg: Option<FaultConfig>,
+    tracing: bool,
 }
 
 impl SystemBuilder {
@@ -236,7 +241,17 @@ impl SystemBuilder {
             energy_params: EnergyParams::default(),
             ladder_override: None,
             fault_cfg: None,
+            tracing: false,
         }
+    }
+
+    /// Enables structured tracing: the kernel and the controller each get
+    /// an enabled [`TraceRecorder`], and the run's [`RunResult::trace`]
+    /// carries the assembled [`Trace`]. Off by default (the disabled
+    /// recorders cost one branch per record site).
+    pub fn tracing(&mut self, on: bool) -> &mut Self {
+        self.tracing = on;
+        self
     }
 
     /// Adds a core running `trace` with the given MLP.
@@ -368,7 +383,15 @@ impl SystemBuilder {
             last_process: None,
             ctrl_dirty: false,
             counts: EventCounts::default(),
+            recorder: if self.tracing {
+                TraceRecorder::enabled()
+            } else {
+                TraceRecorder::disabled()
+            },
         };
+        if self.tracing {
+            sim.mc.set_trace_recorder(TraceRecorder::enabled());
+        }
         let end = sim.run(&mut cores);
 
         let core_results: Vec<CoreResult> = cores
@@ -385,6 +408,17 @@ impl SystemBuilder {
                 }
             })
             .collect();
+
+        let trace = if self.tracing {
+            let kernel_rec = std::mem::replace(&mut sim.recorder, TraceRecorder::disabled());
+            let mc_rec = sim.mc.take_trace_recorder();
+            Some(Trace::assemble(vec![
+                ("kernel", kernel_rec),
+                ("memctrl", mc_rec),
+            ]))
+        } else {
+            None
+        };
 
         let mem = sim.mc.stats();
         let mut meter = EnergyMeter::new(self.energy_params);
@@ -407,6 +441,7 @@ impl SystemBuilder {
             wear,
             faults: fault_model.map(|(shared, _)| shared.stats()),
             events: sim.counts,
+            trace,
         }
     }
 }
@@ -482,6 +517,26 @@ impl EventCounts {
     }
 }
 
+impl Mergeable for EventCounts {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
+/// The trace-record dispatch kind for a kernel event.
+fn dispatch_kind(ev: EventKind) -> DispatchKind {
+    match ev {
+        EventKind::CoreWake(_) => DispatchKind::CoreWake,
+        EventKind::ReadComplete(_) => DispatchKind::ReadComplete,
+        EventKind::Ctrl(CtrlWake::WorkArrived) => DispatchKind::CtrlWorkArrived,
+        EventKind::Ctrl(CtrlWake::BankFree) => DispatchKind::CtrlBankFree,
+        EventKind::Ctrl(CtrlWake::QueueSlotFree) => DispatchKind::CtrlQueueSlotFree,
+        EventKind::Ctrl(CtrlWake::DepReady) => DispatchKind::CtrlDepReady,
+        EventKind::Ctrl(CtrlWake::ModeSwitch) => DispatchKind::CtrlModeSwitch,
+        EventKind::Ctrl(CtrlWake::RetryPulse) => DispatchKind::CtrlRetryPulse,
+    }
+}
+
 /// The discrete-event kernel tying cores, controller and wear-leveling
 /// together.
 ///
@@ -516,6 +571,7 @@ struct EventKernel {
     /// Whether kernel-side enqueues happened since `last_process`.
     ctrl_dirty: bool,
     counts: EventCounts,
+    recorder: TraceRecorder,
 }
 
 impl EventKernel {
@@ -543,6 +599,12 @@ impl EventKernel {
             );
             now = t;
             self.counts.count(ev);
+            self.recorder.record(
+                now,
+                TraceRecord::KernelDispatch {
+                    kind: dispatch_kind(ev),
+                },
+            );
             match ev {
                 EventKind::CoreWake(i) => {
                     if self.core_wake[i] == Some(t) {

@@ -3,19 +3,44 @@
 //! The paper's motivation is that long RESETs block reads; averages hide
 //! how bad the blocked reads get. The controller records every demand-read
 //! latency here so experiments can report P50/P95/P99 alongside the mean.
+//!
+//! Bucket boundaries are hoisted to construction time (a compile-time
+//! table), so recording a sample never re-derives them.
 
 use ladder_reram::Picos;
 
 /// Number of logarithmic buckets (~1 ns to ~1 ms at 2 buckets/octave).
 const BUCKETS: usize = 64;
 
+/// Bucket index from which the bounds table saturates: `500 ps << 54`
+/// would overflow `u64`, so buckets from here up are overflow buckets
+/// whose precomputed bound no longer covers their samples.
+const SATURATED: usize = 53;
+
+/// Upper latency bound of every bucket, derived once: bucket `i` covers
+/// latencies up to `500 ps << i` (half-nanosecond granularity at the low
+/// end), with the overflow buckets absorbing everything larger.
+const BOUNDS: [Picos; BUCKETS] = build_bounds();
+
+const fn build_bounds() -> [Picos; BUCKETS] {
+    let mut bounds = [Picos::ZERO; BUCKETS];
+    let mut i = 0;
+    while i < BUCKETS {
+        // Cap the shift so the bound never overflows u64 picoseconds.
+        let shift = if i < SATURATED { i } else { SATURATED };
+        bounds[i] = Picos::from_ps(500u64 << shift);
+        i += 1;
+    }
+    bounds
+}
+
 /// A latency histogram with logarithmic buckets.
 ///
 /// # Examples
 ///
 /// ```
-/// use ladder_memctrl::LatencyHistogram;
 /// use ladder_reram::Picos;
+/// use ladder_trace::LatencyHistogram;
 ///
 /// let mut h = LatencyHistogram::new();
 /// for ns in [30.0, 35.0, 40.0, 600.0] {
@@ -25,7 +50,7 @@ const BUCKETS: usize = 64;
 /// assert!(h.percentile(0.50).as_ns() < 100.0);
 /// assert!(h.percentile(0.99).as_ns() > 300.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     counts: [u64; BUCKETS],
     total: u64,
@@ -50,16 +75,13 @@ impl LatencyHistogram {
         }
     }
 
-    /// Bucket index for a latency: 2 buckets per octave starting at 1 ns.
+    /// Bucket index for a latency: the first precomputed bound that
+    /// covers it; samples above every bound land in the last bucket
+    /// rather than being dropped.
     fn bucket_of(lat: Picos) -> usize {
         let ns2 = (lat.as_ps() / 500).max(1); // half-nanoseconds
         let idx = (64 - ns2.leading_zeros()) as usize;
         idx.min(BUCKETS - 1)
-    }
-
-    /// Upper latency bound of a bucket.
-    fn bucket_upper(idx: usize) -> Picos {
-        Picos::from_ps(500u64.saturating_mul(1u64 << idx.min(53)))
     }
 
     /// Records one latency sample.
@@ -106,7 +128,12 @@ impl LatencyHistogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Self::bucket_upper(i).min(self.max);
+                // An overflow bucket's table bound does not cover its
+                // samples; the observed max is the honest answer there.
+                if i >= SATURATED {
+                    return self.max;
+                }
+                return BOUNDS[i].min(self.max);
             }
         }
         self.max
@@ -133,6 +160,46 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), Picos::ZERO);
         assert_eq!(h.percentile(0.99), Picos::ZERO);
+    }
+
+    #[test]
+    fn bounds_table_is_monotone_and_covers_every_bucket() {
+        for w in BOUNDS.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // The precomputed bound of a sample's bucket covers the sample
+        // (until the table saturates at the overflow bucket).
+        for shift in 0..53u64 {
+            for ps in [
+                500u64 << shift,
+                (500u64 << shift) - 1,
+                (500u64 << shift) + 1,
+            ] {
+                let b = LatencyHistogram::bucket_of(Picos::from_ps(ps));
+                if b < BUCKETS - 1 {
+                    assert!(BOUNDS[b].as_ps() >= ps, "bound {b} misses {ps}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_samples_count_in_the_last_bucket() {
+        // Values above the largest bound must be counted, not dropped.
+        let mut h = LatencyHistogram::new();
+        let above_max_bound = BOUNDS[BUCKETS - 1] + Picos::from_ps(1);
+        let huge = Picos::from_ps(1 << 62);
+        assert!(huge > BOUNDS[BUCKETS - 1]);
+        h.record(above_max_bound);
+        h.record(huge);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), huge);
+        // Both land in saturated overflow buckets, and the tail
+        // percentile reports the observed max, not a stale bound.
+        assert!(LatencyHistogram::bucket_of(huge) >= SATURATED);
+        assert!(LatencyHistogram::bucket_of(above_max_bound) >= SATURATED);
+        assert_eq!(h.percentile(1.0), huge);
+        assert_eq!(h.percentile(0.5), huge);
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! The [`Mergeable`] trait, the [`MetricsRegistry`], and the
+//! [`TraceTotals`] aggregate a recorder maintains alongside its ring.
+
+use crate::histogram::LatencyHistogram;
+use crate::record::{DispatchKind, PulseKind, ReadClass, TraceRecord};
+use ladder_reram::Picos;
+use std::collections::BTreeMap;
+
+/// A value that folds with other values of its type.
+///
+/// The contract (checked by property tests at the workspace root):
+///
+/// * **associative** — `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`
+/// * **commutative** — `a ⊕ b == b ⊕ a`
+/// * **identity** — `a ⊕ Default::default() == a`
+///
+/// Together these make per-worker statistics fold deterministically at any
+/// `--jobs`: a sharded fold over any partition equals the sequential fold.
+pub trait Mergeable: Default {
+    /// Folds `other` into `self`.
+    fn merge_from(&mut self, other: &Self);
+}
+
+/// Folds an iterator of mergeable parts into one value.
+///
+/// # Examples
+///
+/// ```
+/// let total: u64 = ladder_trace::fold([1u64, 2, 3]);
+/// assert_eq!(total, 6);
+/// ```
+pub fn fold<M: Mergeable>(parts: impl IntoIterator<Item = M>) -> M {
+    let mut acc = M::default();
+    for p in parts {
+        acc.merge_from(&p);
+    }
+    acc
+}
+
+/// Plain counters merge by addition.
+impl Mergeable for u64 {
+    fn merge_from(&mut self, other: &Self) {
+        *self += other;
+    }
+}
+
+impl Mergeable for Picos {
+    fn merge_from(&mut self, other: &Self) {
+        *self += *other;
+    }
+}
+
+impl Mergeable for LatencyHistogram {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
+/// A name-keyed registry of mergeable counters and latency histograms —
+/// the generic container ad-hoc stat structs migrate toward. Keys are
+/// ordered, so iteration (and therefore any export) is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_reram::Picos;
+/// use ladder_trace::{Mergeable, MetricsRegistry};
+///
+/// let mut a = MetricsRegistry::new();
+/// a.add("writes", 3);
+/// a.observe("read_latency", Picos::from_ns(35.0));
+/// let mut b = MetricsRegistry::new();
+/// b.add("writes", 4);
+/// a.merge_from(&b);
+/// assert_eq!(a.counter("writes"), 7);
+/// assert_eq!(a.histogram("read_latency").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, LatencyHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (created at zero on first use).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// The named counter's value (zero when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn observe(&mut self, name: &str, sample: Picos) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(sample);
+    }
+
+    /// The named histogram, when any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &LatencyHistogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl Mergeable for MetricsRegistry {
+    fn merge_from(&mut self, other: &Self) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+/// Exact aggregates over *every* record a recorder ever saw — maintained
+/// at record time, so a bounded ring (which keeps only the most recent
+/// events for export) never loses accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceTotals {
+    /// Kernel dispatches per [`DispatchKind`] (indexed by
+    /// [`DispatchKind::index`]).
+    pub dispatches: [u64; 8],
+    /// Data-write RESET pulses.
+    pub data_pulses: u64,
+    /// Metadata write-back pulses.
+    pub metadata_pulses: u64,
+    /// Demand reads completed.
+    pub demand_reads: u64,
+    /// Stale-memory-block dependency reads completed.
+    pub smb_reads: u64,
+    /// Metadata fill reads completed.
+    pub metadata_reads: u64,
+    /// Σ demand-read latency.
+    pub demand_read_latency: Picos,
+    /// Metadata-cache hits.
+    pub cache_hits: u64,
+    /// Metadata-cache misses.
+    pub cache_misses: u64,
+    /// Dirty metadata write-backs enqueued by policy calls.
+    pub cache_writebacks: u64,
+    /// Failed verifies (== escalated retry pulses issued).
+    pub failed_verifies: u64,
+    /// Residual failed bits absorbed by correction budgets.
+    pub ecc_corrected_bits: u64,
+    /// Writes whose residue exceeded the correction budget.
+    pub uncorrectable: u64,
+    /// Σ write-queue wait across data writes.
+    pub queue_wait: Picos,
+    /// Σ chosen pulse width (`tWR`) across data writes.
+    pub pulse_time: Picos,
+    /// Σ verify/retry time across data writes.
+    pub retry_time: Picos,
+    /// Σ service window (dispatch → completion) across data writes.
+    pub service_time: Picos,
+    /// Σ worst-case pulse width across data writes.
+    pub worst_pulse_time: Picos,
+    /// Σ location-aware-bound pulse width across data writes.
+    pub location_pulse_time: Picos,
+    /// Σ pulse width (`tWR`) across metadata write-backs.
+    pub metadata_pulse_time: Picos,
+}
+
+impl TraceTotals {
+    /// Dispatch count for one kind.
+    pub fn dispatch(&self, kind: DispatchKind) -> u64 {
+        self.dispatches[kind.index()]
+    }
+
+    /// Total kernel dispatches.
+    pub fn dispatch_total(&self) -> u64 {
+        self.dispatches.iter().sum()
+    }
+
+    /// Controller overhead inside data-write service windows: everything
+    /// that is neither the pulse nor verify/retry (tRCD, burst, bus
+    /// serialization).
+    pub fn overhead_time(&self) -> Picos {
+        self.service_time
+            .saturating_sub(self.pulse_time)
+            .saturating_sub(self.retry_time)
+    }
+
+    /// Pulse time saved by knowing the write's location
+    /// (`Σ t_worst − Σ t_loc`).
+    pub fn location_saving(&self) -> Picos {
+        self.worst_pulse_time
+            .saturating_sub(self.location_pulse_time)
+    }
+
+    /// Pulse time saved by knowing the write's content on top of its
+    /// location (`Σ t_loc − Σ t_wr`).
+    pub fn content_saving(&self) -> Picos {
+        self.location_pulse_time.saturating_sub(self.pulse_time)
+    }
+
+    /// Metadata-cache hit ratio over the traced run.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Folds one record into the totals.
+    pub(crate) fn apply(&mut self, record: &TraceRecord) {
+        match *record {
+            TraceRecord::KernelDispatch { kind } => self.dispatches[kind.index()] += 1,
+            TraceRecord::ResetPulse {
+                kind,
+                t_wr,
+                queue_wait,
+                retry_time,
+                service,
+                t_worst,
+                t_loc,
+                ..
+            } => match kind {
+                PulseKind::Data => {
+                    self.data_pulses += 1;
+                    self.queue_wait += queue_wait;
+                    self.pulse_time += t_wr;
+                    self.retry_time += retry_time;
+                    self.service_time += service;
+                    self.worst_pulse_time += t_worst;
+                    self.location_pulse_time += t_loc;
+                }
+                PulseKind::Metadata => {
+                    self.metadata_pulses += 1;
+                    self.metadata_pulse_time += t_wr;
+                }
+            },
+            TraceRecord::ReadComplete { class, latency } => match class {
+                ReadClass::Demand => {
+                    self.demand_reads += 1;
+                    self.demand_read_latency += latency;
+                }
+                ReadClass::Smb => self.smb_reads += 1,
+                ReadClass::Metadata => self.metadata_reads += 1,
+            },
+            TraceRecord::CacheAccess {
+                hits,
+                misses,
+                writebacks,
+            } => {
+                self.cache_hits += hits as u64;
+                self.cache_misses += misses as u64;
+                self.cache_writebacks += writebacks as u64;
+            }
+            TraceRecord::VerifyRetry { .. } => self.failed_verifies += 1,
+            TraceRecord::EccCorrection { bits } => self.ecc_corrected_bits += bits as u64,
+            TraceRecord::Uncorrectable => self.uncorrectable += 1,
+        }
+    }
+
+    /// Renders the totals as a generic [`MetricsRegistry`] (the exporters'
+    /// counter section).
+    pub fn to_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for k in DispatchKind::ALL {
+            let n = self.dispatch(k);
+            if n > 0 {
+                reg.add(&format!("dispatch.{}", k.name()), n);
+            }
+        }
+        reg.add("pulses.data", self.data_pulses);
+        reg.add("pulses.metadata", self.metadata_pulses);
+        reg.add("reads.demand", self.demand_reads);
+        reg.add("reads.smb", self.smb_reads);
+        reg.add("reads.metadata", self.metadata_reads);
+        reg.add("cache.hits", self.cache_hits);
+        reg.add("cache.misses", self.cache_misses);
+        reg.add("cache.writebacks", self.cache_writebacks);
+        reg.add("pv.failed_verifies", self.failed_verifies);
+        reg.add("pv.ecc_corrected_bits", self.ecc_corrected_bits);
+        reg.add("pv.uncorrectable", self.uncorrectable);
+        reg.add("time.queue_wait_ps", self.queue_wait.as_ps());
+        reg.add("time.pulse_ps", self.pulse_time.as_ps());
+        reg.add("time.retry_ps", self.retry_time.as_ps());
+        reg.add("time.service_ps", self.service_time.as_ps());
+        reg.add("time.metadata_pulse_ps", self.metadata_pulse_time.as_ps());
+        reg
+    }
+}
+
+impl Mergeable for TraceTotals {
+    fn merge_from(&mut self, other: &Self) {
+        for (a, b) in self.dispatches.iter_mut().zip(&other.dispatches) {
+            *a += b;
+        }
+        self.data_pulses += other.data_pulses;
+        self.metadata_pulses += other.metadata_pulses;
+        self.demand_reads += other.demand_reads;
+        self.smb_reads += other.smb_reads;
+        self.metadata_reads += other.metadata_reads;
+        self.demand_read_latency += other.demand_read_latency;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_writebacks += other.cache_writebacks;
+        self.failed_verifies += other.failed_verifies;
+        self.ecc_corrected_bits += other.ecc_corrected_bits;
+        self.uncorrectable += other.uncorrectable;
+        self.queue_wait += other.queue_wait;
+        self.pulse_time += other.pulse_time;
+        self.retry_time += other.retry_time;
+        self.service_time += other.service_time;
+        self.worst_pulse_time += other.worst_pulse_time;
+        self.location_pulse_time += other.location_pulse_time;
+        self.metadata_pulse_time += other.metadata_pulse_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_merge_adds_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.add("x", 1);
+        a.observe("h", Picos::from_ps(100));
+        let mut b = MetricsRegistry::new();
+        b.add("x", 2);
+        b.add("y", 5);
+        b.observe("h", Picos::from_ps(200));
+        a.merge_from(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 5);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.counter("missing"), 0);
+    }
+
+    #[test]
+    fn fold_helper_equals_manual_accumulation() {
+        let parts = vec![
+            TraceTotals {
+                data_pulses: 2,
+                ..Default::default()
+            },
+            TraceTotals {
+                data_pulses: 3,
+                cache_hits: 1,
+                ..Default::default()
+            },
+        ];
+        let total: TraceTotals = fold(parts);
+        assert_eq!(total.data_pulses, 5);
+        assert_eq!(total.cache_hits, 1);
+    }
+
+    #[test]
+    fn totals_apply_routes_every_record() {
+        let mut t = TraceTotals::default();
+        t.apply(&TraceRecord::KernelDispatch {
+            kind: DispatchKind::CtrlBankFree,
+        });
+        t.apply(&TraceRecord::ReadComplete {
+            class: ReadClass::Demand,
+            latency: Picos::from_ps(10),
+        });
+        t.apply(&TraceRecord::EccCorrection { bits: 4 });
+        assert_eq!(t.dispatch(DispatchKind::CtrlBankFree), 1);
+        assert_eq!(t.dispatch_total(), 1);
+        assert_eq!(t.demand_reads, 1);
+        assert_eq!(t.demand_read_latency, Picos::from_ps(10));
+        assert_eq!(t.ecc_corrected_bits, 4);
+    }
+
+    #[test]
+    fn attribution_splits_are_consistent() {
+        let mut t = TraceTotals::default();
+        t.apply(&TraceRecord::ResetPulse {
+            kind: PulseKind::Data,
+            wl: 1,
+            bl: 2,
+            c_lrs: 3,
+            t_wr: Picos::from_ps(100),
+            queue_wait: Picos::from_ps(50),
+            retry_time: Picos::from_ps(20),
+            service: Picos::from_ps(200),
+            t_worst: Picos::from_ps(400),
+            t_loc: Picos::from_ps(250),
+        });
+        assert_eq!(t.overhead_time(), Picos::from_ps(80));
+        assert_eq!(t.location_saving(), Picos::from_ps(150));
+        assert_eq!(t.content_saving(), Picos::from_ps(150));
+    }
+}

@@ -1,0 +1,311 @@
+//! Typed trace records and their canonical digest encoding.
+
+use ladder_reram::{Instant, Picos};
+
+/// What kind of discrete-event-kernel dispatch fired.
+///
+/// Mirrors the kernel's per-kind dispatch counters one-to-one so trace
+/// totals reconcile exactly with `EventCounts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchKind {
+    /// A core's compute phase ended.
+    CoreWake,
+    /// A demand read's data burst was delivered to its core.
+    ReadComplete,
+    /// Controller wake: new work arrived in a queue.
+    CtrlWorkArrived,
+    /// Controller wake: a bank finished its operation.
+    CtrlBankFree,
+    /// Controller wake: a write-queue slot freed.
+    CtrlQueueSlotFree,
+    /// Controller wake: a queued write's last dependency read completed.
+    CtrlDepReady,
+    /// Controller wake: a channel switched read/write-drain mode.
+    CtrlModeSwitch,
+    /// Controller wake: a program-and-verify retry pulse fired.
+    CtrlRetryPulse,
+}
+
+impl DispatchKind {
+    /// Every kind, in counter order.
+    pub const ALL: [DispatchKind; 8] = [
+        DispatchKind::CoreWake,
+        DispatchKind::ReadComplete,
+        DispatchKind::CtrlWorkArrived,
+        DispatchKind::CtrlBankFree,
+        DispatchKind::CtrlQueueSlotFree,
+        DispatchKind::CtrlDepReady,
+        DispatchKind::CtrlModeSwitch,
+        DispatchKind::CtrlRetryPulse,
+    ];
+
+    /// Stable index into per-kind counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            DispatchKind::CoreWake => 0,
+            DispatchKind::ReadComplete => 1,
+            DispatchKind::CtrlWorkArrived => 2,
+            DispatchKind::CtrlBankFree => 3,
+            DispatchKind::CtrlQueueSlotFree => 4,
+            DispatchKind::CtrlDepReady => 5,
+            DispatchKind::CtrlModeSwitch => 6,
+            DispatchKind::CtrlRetryPulse => 7,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchKind::CoreWake => "core-wake",
+            DispatchKind::ReadComplete => "read-complete",
+            DispatchKind::CtrlWorkArrived => "work-arrived",
+            DispatchKind::CtrlBankFree => "bank-free",
+            DispatchKind::CtrlQueueSlotFree => "queue-slot-free",
+            DispatchKind::CtrlDepReady => "dep-ready",
+            DispatchKind::CtrlModeSwitch => "mode-switch",
+            DispatchKind::CtrlRetryPulse => "retry-pulse",
+        }
+    }
+}
+
+/// Which queue a serviced write came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PulseKind {
+    /// A data write (an LLC write-back).
+    Data,
+    /// A metadata write-back.
+    Metadata,
+}
+
+/// Which class of read completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadClass {
+    /// A demand (CPU) read.
+    Demand,
+    /// A stale-memory-block dependency read.
+    Smb,
+    /// A metadata fill read.
+    Metadata,
+}
+
+impl ReadClass {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadClass::Demand => "demand",
+            ReadClass::Smb => "smb",
+            ReadClass::Metadata => "metadata",
+        }
+    }
+}
+
+/// The content value a [`TraceRecord::ResetPulse`] carries when the scheme
+/// does not track `C^w_lrs` for the write (baseline, Split-reset).
+pub const C_LRS_UNTRACKED: u32 = u32::MAX;
+
+/// One typed trace record. Timestamps live in the enclosing
+/// [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// The event kernel dispatched one scheduled event.
+    KernelDispatch {
+        /// What fired.
+        kind: DispatchKind,
+    },
+    /// A RESET pulse was issued and its completion scheduled — one record
+    /// per serviced write, carrying the paper's ⟨WL, BL, C^w_lrs⟩
+    /// coordinates and the full latency decomposition of the service
+    /// window.
+    ResetPulse {
+        /// Data write or metadata write-back.
+        kind: PulseKind,
+        /// Wordline of the write location.
+        wl: u32,
+        /// (Worst) bitline/column of the write location.
+        bl: u32,
+        /// Scheme-tracked `C^w_lrs` content value, or
+        /// [`C_LRS_UNTRACKED`].
+        c_lrs: u32,
+        /// The pulse width the policy chose (`tWR`).
+        t_wr: Picos,
+        /// Time the request waited in the write queue before dispatch.
+        queue_wait: Picos,
+        /// Extra time spent on verify reads and retry pulses.
+        retry_time: Picos,
+        /// Full service window, dispatch → data-burst completion.
+        service: Picos,
+        /// The scheme's worst-case pulse width (what a location/content
+        /// oblivious controller would have charged).
+        t_worst: Picos,
+        /// The location-aware bound: this ⟨WL, BL⟩ under worst-case
+        /// content. `t_worst − t_loc` is the location saving;
+        /// `t_loc − t_wr` is the content saving.
+        t_loc: Picos,
+    },
+    /// A read completed (timestamped at completion).
+    ReadComplete {
+        /// Demand, SMB or metadata fill.
+        class: ReadClass,
+        /// Enqueue → data-burst completion.
+        latency: Picos,
+    },
+    /// Metadata-cache activity of one policy call (prepare or service),
+    /// recorded as deltas of the cache's counters so totals reconcile
+    /// exactly with the cache's own statistics.
+    CacheAccess {
+        /// Lookups that hit.
+        hits: u32,
+        /// Lookups that missed.
+        misses: u32,
+        /// Dirty metadata write-backs the call enqueued.
+        writebacks: u32,
+    },
+    /// A failed verify triggered one escalated retry pulse.
+    VerifyRetry {
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Bits that failed the preceding verify.
+        failed_bits: u32,
+        /// Width of the escalated pulse (including its verify read).
+        pulse: Picos,
+    },
+    /// Residual failed bits were absorbed by the line's correction budget.
+    EccCorrection {
+        /// Bits corrected.
+        bits: u32,
+    },
+    /// Residual failed bits exceeded the correction budget (data loss).
+    Uncorrectable,
+}
+
+impl TraceRecord {
+    /// Stable tag for the digest encoding.
+    fn tag(&self) -> u64 {
+        match self {
+            TraceRecord::KernelDispatch { .. } => 1,
+            TraceRecord::ResetPulse { .. } => 2,
+            TraceRecord::ReadComplete { .. } => 3,
+            TraceRecord::CacheAccess { .. } => 4,
+            TraceRecord::VerifyRetry { .. } => 5,
+            TraceRecord::EccCorrection { .. } => 6,
+            TraceRecord::Uncorrectable => 7,
+        }
+    }
+
+    /// Folds the canonical encoding of `(at, self)` into an FNV-1a state.
+    /// Every field participates, so any drift in event content or order
+    /// changes the digest.
+    pub(crate) fn fold_digest(&self, at: Instant, h: u64) -> u64 {
+        let mut h = fold_u64(h, at.as_ps());
+        h = fold_u64(h, self.tag());
+        match *self {
+            TraceRecord::KernelDispatch { kind } => fold_u64(h, kind.index() as u64),
+            TraceRecord::ResetPulse {
+                kind,
+                wl,
+                bl,
+                c_lrs,
+                t_wr,
+                queue_wait,
+                retry_time,
+                service,
+                t_worst,
+                t_loc,
+            } => {
+                h = fold_u64(h, matches!(kind, PulseKind::Metadata) as u64);
+                h = fold_u64(h, wl as u64);
+                h = fold_u64(h, bl as u64);
+                h = fold_u64(h, c_lrs as u64);
+                h = fold_u64(h, t_wr.as_ps());
+                h = fold_u64(h, queue_wait.as_ps());
+                h = fold_u64(h, retry_time.as_ps());
+                h = fold_u64(h, service.as_ps());
+                h = fold_u64(h, t_worst.as_ps());
+                fold_u64(h, t_loc.as_ps())
+            }
+            TraceRecord::ReadComplete { class, latency } => {
+                h = fold_u64(h, class as u64);
+                fold_u64(h, latency.as_ps())
+            }
+            TraceRecord::CacheAccess {
+                hits,
+                misses,
+                writebacks,
+            } => {
+                h = fold_u64(h, hits as u64);
+                h = fold_u64(h, misses as u64);
+                fold_u64(h, writebacks as u64)
+            }
+            TraceRecord::VerifyRetry {
+                attempt,
+                failed_bits,
+                pulse,
+            } => {
+                h = fold_u64(h, attempt as u64);
+                h = fold_u64(h, failed_bits as u64);
+                fold_u64(h, pulse.as_ps())
+            }
+            TraceRecord::EccCorrection { bits } => fold_u64(h, bits as u64),
+            TraceRecord::Uncorrectable => h,
+        }
+    }
+}
+
+/// FNV-1a over the little-endian bytes of one `u64`.
+pub(crate) fn fold_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a offset basis — the digest's initial state.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One sim-time-stamped record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the record was emitted (simulated time).
+    pub at: Instant,
+    /// The typed record.
+    pub record: TraceRecord,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_kind_indices_are_stable_and_dense() {
+        for (i, k) in DispatchKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn digest_encoding_separates_fields() {
+        // Swapping two field values must not collide (a naive sum would).
+        let a = TraceRecord::CacheAccess {
+            hits: 3,
+            misses: 5,
+            writebacks: 0,
+        };
+        let b = TraceRecord::CacheAccess {
+            hits: 5,
+            misses: 3,
+            writebacks: 0,
+        };
+        let t = Instant::from_ps(42);
+        assert_ne!(a.fold_digest(t, FNV_OFFSET), b.fold_digest(t, FNV_OFFSET));
+    }
+
+    #[test]
+    fn digest_depends_on_timestamp() {
+        let r = TraceRecord::Uncorrectable;
+        assert_ne!(
+            r.fold_digest(Instant::from_ps(1), FNV_OFFSET),
+            r.fold_digest(Instant::from_ps(2), FNV_OFFSET)
+        );
+    }
+}

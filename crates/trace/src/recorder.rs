@@ -1,0 +1,311 @@
+//! The per-worker ring-buffer recorder and the assembled [`Trace`].
+
+use crate::metrics::{Mergeable, TraceTotals};
+use crate::record::{fold_u64, TraceEvent, TraceRecord, FNV_OFFSET};
+use ladder_reram::Instant;
+use std::fmt;
+
+/// Default ring capacity: enough to keep every event of a `--quick` run
+/// while bounding memory for long ones (totals and the digest keep exact
+/// accounting regardless).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// A per-worker structured trace recorder.
+///
+/// *Zero overhead when disabled*: [`TraceRecorder::disabled`] allocates
+/// nothing, and [`TraceRecorder::record`] on it is a single predictable
+/// branch. *Lock-free*: each simulation worker owns its recorder outright
+/// — no sharing, hence no locks or atomics; per-worker recorders are
+/// folded after the run.
+///
+/// While enabled, every record updates three things:
+///
+/// * a running FNV-1a **digest** over the canonical encoding of
+///   `(timestamp, record)` — the golden-trace fingerprint;
+/// * exact [`TraceTotals`] — counters and time sums over *all* records;
+/// * a bounded **ring** of the most recent raw events (for export). When
+///   the ring wraps, the oldest events are overwritten and counted in
+///   [`TraceRecorder::dropped`]; digest and totals are unaffected.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    enabled: bool,
+    ring: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    start: usize,
+    dropped: u64,
+    records: u64,
+    digest: u64,
+    totals: TraceTotals,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl TraceRecorder {
+    /// A disabled recorder: records nothing, allocates nothing.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ring: Vec::new(),
+            cap: 0,
+            start: 0,
+            dropped: 0,
+            records: 0,
+            digest: FNV_OFFSET,
+            totals: TraceTotals::default(),
+        }
+    }
+
+    /// An enabled recorder with the default ring capacity.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// An enabled recorder keeping at most `capacity` raw events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self {
+            enabled: true,
+            ring: Vec::with_capacity(capacity.min(DEFAULT_RING_CAPACITY)),
+            cap: capacity,
+            start: 0,
+            dropped: 0,
+            records: 0,
+            digest: FNV_OFFSET,
+            totals: TraceTotals::default(),
+        }
+    }
+
+    /// Whether this recorder captures records.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event at simulated time `at`. A no-op (one branch)
+    /// when disabled.
+    #[inline]
+    pub fn record(&mut self, at: Instant, record: TraceRecord) {
+        if !self.enabled {
+            return;
+        }
+        self.push(at, record);
+    }
+
+    fn push(&mut self, at: Instant, record: TraceRecord) {
+        self.records += 1;
+        self.digest = record.fold_digest(at, self.digest);
+        self.totals.apply(&record);
+        let ev = TraceEvent { at, record };
+        if self.ring.len() < self.cap {
+            self.ring.push(ev);
+        } else {
+            // Ring is full: overwrite the oldest event.
+            self.ring[self.start] = ev;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Total records ever recorded (including any the ring dropped).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Raw events lost to ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exact aggregates over every record ever recorded.
+    pub fn totals(&self) -> &TraceTotals {
+        &self.totals
+    }
+
+    /// The running digest over every record ever recorded.
+    pub fn digest(&self) -> TraceDigest {
+        TraceDigest(self.digest)
+    }
+
+    /// The retained raw events in recording order (oldest first).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.start..]);
+        out.extend_from_slice(&self.ring[..self.start]);
+        out
+    }
+}
+
+/// A 64-bit fingerprint of a trace: FNV-1a over the canonical encoding of
+/// every `(timestamp, record)` pair in recording order. Two runs produce
+/// the same digest iff they emitted the same records with the same
+/// timestamps in the same order — the golden-trace regression contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceDigest(pub u64);
+
+impl fmt::Display for TraceDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One named recorder's contribution to an assembled [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TracePart {
+    /// Which component recorded these events (e.g. `"kernel"`,
+    /// `"memctrl"`).
+    pub name: &'static str,
+    /// Retained raw events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Records ever recorded by this part.
+    pub records: u64,
+    /// Raw events this part's ring dropped.
+    pub dropped: u64,
+    /// This part's own digest.
+    pub digest: TraceDigest,
+}
+
+/// A fully assembled trace: the per-part raw events plus exact merged
+/// totals and a combined digest.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Per-component parts, in assembly order.
+    pub parts: Vec<TracePart>,
+    /// Exact aggregates over every record of every part.
+    pub totals: TraceTotals,
+    /// Total records across parts (including ring-dropped ones).
+    pub records: u64,
+    /// Total raw events lost to ring wrap-around.
+    pub dropped: u64,
+    /// Combined digest: each part's name, record count and digest folded
+    /// in assembly order.
+    pub digest: TraceDigest,
+}
+
+impl Trace {
+    /// Assembles named recorders into one trace. Part order is part of
+    /// the combined digest, so callers must assemble in a fixed order.
+    pub fn assemble(recorders: Vec<(&'static str, TraceRecorder)>) -> Trace {
+        let mut totals = TraceTotals::default();
+        let mut records = 0;
+        let mut dropped = 0;
+        let mut digest = FNV_OFFSET;
+        let mut parts = Vec::with_capacity(recorders.len());
+        for (name, rec) in recorders {
+            totals.merge_from(rec.totals());
+            records += rec.records();
+            dropped += rec.dropped();
+            for b in name.bytes() {
+                digest = fold_u64(digest, b as u64);
+            }
+            digest = fold_u64(digest, rec.records());
+            digest = fold_u64(digest, rec.digest().0);
+            parts.push(TracePart {
+                name,
+                events: rec.events(),
+                records: rec.records(),
+                dropped: rec.dropped(),
+                digest: rec.digest(),
+            });
+        }
+        Trace {
+            parts,
+            totals,
+            records,
+            dropped,
+            digest: TraceDigest(digest),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DispatchKind, ReadClass};
+    use ladder_reram::Picos;
+
+    fn dispatch(kind: DispatchKind) -> TraceRecord {
+        TraceRecord::KernelDispatch { kind }
+    }
+
+    #[test]
+    fn disabled_recorder_allocates_and_records_nothing() {
+        let mut r = TraceRecorder::disabled();
+        assert_eq!(r.ring.capacity(), 0);
+        r.record(Instant::ZERO, TraceRecord::Uncorrectable);
+        assert_eq!(r.records(), 0);
+        assert_eq!(r.totals(), &TraceTotals::default());
+        assert_eq!(r.digest(), TraceDigest(FNV_OFFSET));
+    }
+
+    #[test]
+    fn ring_wraps_but_totals_and_digest_keep_everything() {
+        let mut full = TraceRecorder::with_capacity(4);
+        let mut tiny = TraceRecorder::with_capacity(2);
+        for i in 0..4u64 {
+            let ev = TraceRecord::ReadComplete {
+                class: ReadClass::Demand,
+                latency: Picos::from_ps(i * 10),
+            };
+            full.record(Instant::from_ps(i), ev);
+            tiny.record(Instant::from_ps(i), ev);
+        }
+        assert_eq!(tiny.records(), 4);
+        assert_eq!(tiny.dropped(), 2);
+        assert_eq!(full.dropped(), 0);
+        // The digest and the totals are capacity-independent…
+        assert_eq!(tiny.digest(), full.digest());
+        assert_eq!(tiny.totals(), full.totals());
+        assert_eq!(tiny.totals().demand_reads, 4);
+        // …while the ring keeps only the most recent events.
+        let kept = tiny.events();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].at, Instant::from_ps(2));
+        assert_eq!(kept[1].at, Instant::from_ps(3));
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = TraceRecorder::with_capacity(8);
+        let mut b = TraceRecorder::with_capacity(8);
+        let t = Instant::from_ps(5);
+        a.record(t, dispatch(DispatchKind::CoreWake));
+        a.record(t, dispatch(DispatchKind::CtrlBankFree));
+        b.record(t, dispatch(DispatchKind::CtrlBankFree));
+        b.record(t, dispatch(DispatchKind::CoreWake));
+        assert_ne!(a.digest(), b.digest());
+        // Totals, by contrast, are order-insensitive.
+        assert_eq!(a.totals(), b.totals());
+    }
+
+    #[test]
+    fn assemble_merges_totals_and_binds_part_order() {
+        let mut k = TraceRecorder::with_capacity(8);
+        let mut c = TraceRecorder::with_capacity(8);
+        k.record(Instant::from_ps(1), dispatch(DispatchKind::CoreWake));
+        c.record(Instant::from_ps(2), dispatch(DispatchKind::CtrlWorkArrived));
+        let ab = Trace::assemble(vec![("kernel", k.clone()), ("memctrl", c.clone())]);
+        let ba = Trace::assemble(vec![("memctrl", c), ("kernel", k)]);
+        assert_eq!(ab.records, 2);
+        assert_eq!(ab.totals.dispatch_total(), 2);
+        assert_eq!(ab.totals, ba.totals);
+        assert_ne!(ab.digest, ba.digest);
+        assert_eq!(ab.parts.len(), 2);
+        assert_eq!(ab.parts[0].name, "kernel");
+    }
+
+    #[test]
+    fn digest_displays_as_16_hex_digits() {
+        let s = TraceDigest(0xdead_beef).to_string();
+        assert_eq!(s, "00000000deadbeef");
+        assert_eq!(s.len(), 16);
+    }
+}

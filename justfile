@@ -13,6 +13,16 @@ test:
 clippy:
     cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Run the criterion-shim benches once each, which also enforces the
+# tracing disabled-path allocation gate (trace_overhead).
+bench-check:
+    cargo test -q -p ladder-bench --benches --offline
+
+# Regenerate the golden trace digests after an intentional simulator
+# change (commit the resulting tests/golden/ diff).
+regen-golden:
+    GOLDEN_REGEN=1 cargo test -q --offline --test golden_trace -- --nocapture
+
 # Regenerate the paper's main evaluation (set jobs, e.g. `just main-eval 8`).
 main-eval jobs="4":
     cargo run --release -p ladder-bench --bin main_eval -- --jobs {{jobs}}

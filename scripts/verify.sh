@@ -17,6 +17,11 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# The criterion-shim benches double as gates: trace_overhead asserts the
+# write hot path performs zero allocations with tracing disabled.
+echo "==> bench smoke + tracing allocation gate"
+cargo test -q -p ladder-bench --benches --offline
+
 # Every ladder-bench binary must at least complete a scaled-down run:
 # this catches panics in experiment drivers that unit tests don't reach
 # (arg parsing, figure assembly, the event kernel under each scheme).
@@ -26,5 +31,15 @@ for bin in fig2 fig4b fig11 fig15 main_eval lifetime variability tables \
     echo "  -> $bin"
     ./target/release/"$bin" --quick --jobs 2 >/dev/null
 done
+
+# The --trace flag must produce valid-looking chrome://tracing JSON, and
+# the canonical --quick digests must match tests/golden/.
+echo "==> trace smoke (--trace) + golden-trace check"
+trace_out=$(mktemp)
+./target/release/fig2 --quick --jobs 2 --trace "$trace_out" >/dev/null 2>&1
+grep -q '"traceEvents"' "$trace_out"
+grep -q '"displayTimeUnit"' "$trace_out"
+rm -f "$trace_out"
+cargo test -q --offline --test golden_trace >/dev/null
 
 echo "verify: OK"

@@ -14,6 +14,7 @@
 //! * [`energy`] — dynamic energy model
 //! * [`wear`] — wear-leveling and lifetime
 //! * [`faults`] — device fault injection, program-and-verify, ECC/remap
+//! * [`trace`] — structured tracing, mergeable metrics, chrome exporter
 //! * [`sim`] — the system simulator and paper experiments
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
@@ -62,6 +63,7 @@ pub use ladder_faults as faults;
 pub use ladder_memctrl as memctrl;
 pub use ladder_reram as reram;
 pub use ladder_sim as sim;
+pub use ladder_trace as trace;
 pub use ladder_wear as wear;
 pub use ladder_workloads as workloads;
 pub use ladder_xbar as xbar;
