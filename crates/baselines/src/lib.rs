@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Prior-work write schemes LADDER is evaluated against.
 //!
 //! * [`SplitReset`] — two half-RESET stages with FPC compression

@@ -4,6 +4,11 @@
 //! [`TraceRecorder`] must never allocate. Run by `cargo test --benches`
 //! (one checked iteration) and by `cargo bench` (measured).
 
+// The counting allocator must implement `GlobalAlloc`, which is an unsafe
+// trait; this is the one sanctioned unsafe block in the workspace
+// (`unsafe_code` is denied everywhere else via `[workspace.lints]`).
+#![allow(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use ladder_memctrl::{standard_tables, FixedWorstPolicy, MemCtrlConfig, MemoryController};
 use ladder_reram::{AddressMap, Geometry, Instant, LineAddr, Picos};

@@ -1,11 +1,14 @@
 //! Regenerates the Section 7 crash-consistency study: write-latency decay
 //! after lazy LRS-metadata correction.
 
-use ladder_bench::{config_from_args, emit_trace_if_requested};
+use ladder_bench::{accept_jobs_flag, config_from_args, emit_trace_if_requested};
 use ladder_sim::experiments::crash_recovery;
 
 fn main() {
     let cfg = config_from_args();
+    // One crash-recovery run per benchmark, sequential by design; `--jobs`
+    // is accepted for interface uniformity.
+    accept_jobs_flag();
     for bench in ["astar", "libq"] {
         let r = crash_recovery(&cfg, bench);
         println!("{bench}: steady-state mean tWR = {:.1} ns", r.steady_twr_ns);

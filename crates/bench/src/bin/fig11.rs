@@ -2,15 +2,29 @@
 //! for the two extreme wordline data patterns (sub-tables of the timing
 //! table for the lowest and highest content bands).
 
-use ladder_bench::emit_trace_if_requested;
+use ladder_bench::{accept_jobs_flag, emit_trace_if_requested, quick_requested};
 use ladder_sim::experiments::ExperimentConfig;
 use ladder_xbar::{TableConfig, TimingTable};
 
 fn main() {
-    let table = TimingTable::generate(&TableConfig::ladder_default()).expect("table");
+    // Single table generation; `--jobs` is accepted for interface
+    // uniformity.
+    accept_jobs_flag();
+    let mut cfg = TableConfig::ladder_default();
+    // `--quick` coarsens the surface to a 4-band table for CI smoke runs.
+    if quick_requested() {
+        cfg.bands = 4;
+    }
+    let table = match TimingTable::generate(&cfg) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot generate timing table: {e}");
+            std::process::exit(1);
+        }
+    };
     for (c_band, label) in [
         (0usize, "(a) WL pattern all '0's"),
-        (7, "(b) WL pattern all '1's"),
+        (table.bands() - 1, "(b) WL pattern all '1's"),
     ] {
         println!("Figure 11{label} — RESET latency (ns), rows = WL band, cols = BL band");
         print!("{:>10}", "WL\\BL");

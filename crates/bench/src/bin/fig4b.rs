@@ -1,16 +1,20 @@
 //! Regenerates Figure 4b: RESET latency as a function of the selected
 //! wordline's LRS percentage, for a far cell (①) and a near cell (②).
 
-use ladder_bench::emit_trace_if_requested;
+use ladder_bench::{accept_jobs_flag, emit_trace_if_requested, quick_requested};
 use ladder_sim::experiments::ExperimentConfig;
 use ladder_xbar::{calibrate_device_law, latency_vs_wl_content, CrossbarParams};
 
 fn main() {
+    // Single analytic sweep; `--jobs` is accepted for interface uniformity.
+    accept_jobs_flag();
+    // `--quick` halves the sweep resolution for CI smoke runs.
+    let points = if quick_requested() { 10 } else { 20 };
     let params = CrossbarParams::default();
     let law = calibrate_device_law(&params, 29.0, 658.0);
     // Cell ① sits far from both drivers; cell ② sits near them.
-    let far = latency_vs_wl_content(&params, law, 480, 480, 20);
-    let near = latency_vs_wl_content(&params, law, 32, 32, 20);
+    let far = latency_vs_wl_content(&params, law, 480, 480, points);
+    let near = latency_vs_wl_content(&params, law, 32, 32, points);
     println!("Figure 4b — RESET latency vs WL LRS percentage");
     println!("{:>8}{:>16}{:>16}", "LRS %", "cell 1 (ns)", "cell 2 (ns)");
     for (f, n) in far.iter().zip(&near) {

@@ -6,11 +6,15 @@
 //! This is the expensive end-to-end check of DESIGN.md §2's substitution
 //! argument; expect ~0.5–2 minutes of solver time.
 
-use ladder_bench::{emit_trace_if_requested, quick_requested};
+use ladder_bench::{accept_jobs_flag, emit_trace_if_requested, quick_requested};
 use ladder_sim::experiments::ExperimentConfig;
+use ladder_sim::wallclock::Stopwatch;
 use ladder_xbar::{SolverKind, TableConfig, TableSource, TimingTable};
 
 fn main() {
+    // Table generation parallelizes internally; `--jobs` is accepted for
+    // interface uniformity.
+    accept_jobs_flag();
     let mut cfg = TableConfig::ladder_default();
     // `--quick` drops to a 2x2x2 table (8 exact solves) for CI smoke runs;
     // the full validation uses 4x4x4.
@@ -23,7 +27,7 @@ fn main() {
         bands * bands * bands
     );
     cfg.source = TableSource::Mna(SolverKind::LineRelaxation);
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let mna = TimingTable::generate(&cfg).expect("mna table");
     eprintln!("MNA generation took {:?}", t0.elapsed());
 

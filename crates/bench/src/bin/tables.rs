@@ -1,7 +1,7 @@
 //! Prints Tables 1–4: crossbar parameters, architecture parameters, the
 //! workload list, and the hardware-overhead summary.
 
-use ladder_bench::emit_trace_if_requested;
+use ladder_bench::{accept_jobs_flag, emit_trace_if_requested, quick_requested};
 use ladder_memctrl::MemCtrlConfig;
 use ladder_reram::{DeviceTiming, Geometry};
 use ladder_sim::experiments::ExperimentConfig;
@@ -9,6 +9,8 @@ use ladder_workloads::{profile_of, MIXES, SINGLE_BENCHMARKS};
 use ladder_xbar::CrossbarParams;
 
 fn main() {
+    // Pure printing; `--jobs` is accepted for interface uniformity.
+    accept_jobs_flag();
     // The table selector is the first non-flag argument, so `--trace PATH`
     // (and any future flags) can ride along.
     let mut args = std::env::args().skip(1);
@@ -79,7 +81,13 @@ fn main() {
         println!();
     }
     if matches!(which.as_str(), "all" | "table4") {
-        print!("{}", ladder_sim::overhead::report());
+        if quick_requested() {
+            // Table 4 regenerates a timing table to compute overheads —
+            // the only non-trivial work here — so smoke runs skip it.
+            println!("Table 4 — skipped under --quick (run without it for overheads)");
+        } else {
+            print!("{}", ladder_sim::overhead::report());
+        }
     }
     // This binary has no simulation of its own; a requested trace runs at
     // smoke scale.

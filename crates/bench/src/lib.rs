@@ -154,6 +154,18 @@ pub fn runner_from_args() -> Runner {
     }
 }
 
+/// Validates `--jobs N` on the command line for binaries that are
+/// single-simulation by construction (e.g. `mna_table`'s table generation,
+/// `crash`'s single crash-recovery run) and therefore accept the flag for
+/// interface uniformity without building a [`Runner`]. A malformed value
+/// still prints a usage message and exits with status 2; a valid value is
+/// accepted and ignored.
+pub fn accept_jobs_flag() {
+    if let Err(e) = parse_jobs(&cli_args()) {
+        usage_exit(&e);
+    }
+}
+
 /// If `--trace PATH` was passed on the command line, runs one traced
 /// LADDER-Est simulation of `astar` at the configuration's scale, writes
 /// chrome://tracing JSON to `PATH`, and prints the per-phase
@@ -183,7 +195,12 @@ pub fn emit_trace_if_requested(cfg: &ExperimentConfig) {
         &tables,
         opts,
     );
-    let trace = r.trace.as_ref().expect("tracing was enabled");
+    let Some(trace) = r.trace.as_ref() else {
+        // RunOptions.trace was set above, so this is unreachable in
+        // practice; fail loudly rather than panicking in library code.
+        eprintln!("error: traced run returned no trace buffer");
+        std::process::exit(1);
+    };
     let json = ladder_trace::chrome_trace_json(trace);
     if let Err(e) = std::fs::write(&path, json) {
         eprintln!("error: cannot write trace to `{path}`: {e}");

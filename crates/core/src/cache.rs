@@ -262,6 +262,7 @@ impl MetadataCache {
         self.sets[set]
             .iter_mut()
             .find(|e| e.addr == addr)
+            // lint: allow(panic-policy) — invariant: callers probe residency via lookup() before touching an entry; a miss here is a controller bug
             .unwrap_or_else(|| panic!("metadata line {addr} not resident"))
     }
 }

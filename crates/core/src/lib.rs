@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! LADDER: content- and location-aware writes for crossbar ReRAM — the
 //! paper's primary contribution.
 //!

@@ -53,6 +53,7 @@ impl PartialCounters {
                 .iter()
                 .map(|b| b.count_ones() as u16)
                 .max()
+                // lint: allow(panic-policy) — invariant: a subgroup is BYTES_PER_SUBGROUP > 0 bytes, max() cannot be None
                 .expect("subgroup nonempty");
             packed |= (encode_2bit(worst) as u8) << (2 * j);
         }
@@ -89,6 +90,7 @@ impl LowPrecisionCounters {
                 .iter()
                 .map(|b| b.count_ones() as u16)
                 .max()
+                // lint: allow(panic-policy) — invariant: a line half is LINE_BYTES/2 > 0 bytes, max() cannot be None
                 .expect("half nonempty");
             if worst > LEVELS_1BIT[0] {
                 packed |= 1 << half;
@@ -149,6 +151,7 @@ pub fn estimate_cw_lrs(partials: impl Iterator<Item = PartialCounters>, zero_lin
     sums.iter()
         .map(|&s| s + zero_contrib)
         .max()
+        // lint: allow(panic-policy) — invariant: sums is a fixed-size nonempty array, max() cannot be None
         .expect("nonempty")
 }
 
@@ -167,6 +170,7 @@ pub fn estimate_cw_lrs_low(
     sums.iter()
         .map(|&s| s + zero_contrib)
         .max()
+        // lint: allow(panic-policy) — invariant: sums is a fixed-size nonempty array, max() cannot be None
         .expect("nonempty")
 }
 
@@ -179,6 +183,7 @@ pub fn exact_cw_lrs<'a>(lines: impl Iterator<Item = &'a LineData>) -> u16 {
             per_mat[i] += b.count_ones() as u16;
         }
     }
+    // lint: allow(panic-policy) — invariant: per_mat is a fixed-size nonempty array, max() cannot be None
     *per_mat.iter().max().expect("fixed-size array")
 }
 

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Trace-driven core model for the LADDER system simulator.
 //!
 //! The paper evaluates LADDER with gem5 full-system simulation; this crate

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Dynamic memory energy model (the NVMain-based analysis of paper
 //! Section 6.3, Fig. 17).
 //!

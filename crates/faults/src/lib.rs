@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Device fault injection and recovery for the LADDER reproduction.
 //!
 //! The reliability literature the repo cites makes two claims this crate

@@ -26,7 +26,8 @@ use ladder_memctrl::FaultInjector;
 use ladder_reram::{line_ones, AddressMap, LineAddr, LineData, LineStore, Picos, LINE_BYTES};
 use ladder_wear::{SharedRetirePool, WearMap};
 use ladder_xbar::TimingTable;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::PoisonError;
 
 const LINE_BITS: u32 = (LINE_BYTES * 8) as u32;
 
@@ -111,7 +112,7 @@ pub struct CellFaultModel {
     /// Per-line endurance consumed, fed by the pulses this model observes.
     wear: WearMap,
     /// Stuck cells accumulated per page, for the retirement threshold.
-    page_stuck: HashMap<u64, u32>,
+    page_stuck: BTreeMap<u64, u32>,
     retire: Option<SharedRetirePool>,
     stats: FaultStats,
 }
@@ -130,7 +131,7 @@ impl CellFaultModel {
             map,
             worst_ps,
             wear: WearMap::new(),
-            page_stuck: HashMap::new(),
+            page_stuck: BTreeMap::new(),
             retire: None,
             stats: FaultStats::default(),
         }
@@ -305,7 +306,10 @@ impl SharedCellFaultModel {
 
     /// Runs `f` over the underlying model.
     pub fn with<R>(&self, f: impl FnOnce(&CellFaultModel) -> R) -> R {
-        f(&self.0.lock().expect("fault model poisoned"))
+        // Poisoning means a sibling worker already panicked and the panic
+        // is propagating; the model's state is still internally consistent
+        // (all mutation is transactional per call), so recover the guard.
+        f(&self.0.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Counters so far.
@@ -326,14 +330,14 @@ impl FaultInjector for SharedCellFaultModel {
     fn program(&mut self, addr: LineAddr, store: &mut LineStore, attempt: u32, t_wr: Picos) -> u32 {
         self.0
             .lock()
-            .expect("fault model poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .program(addr, store, attempt, t_wr)
     }
 
     fn resolve(&mut self, addr: LineAddr, residual_bits: u32, store: &mut LineStore) -> bool {
         self.0
             .lock()
-            .expect("fault model poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .resolve(addr, residual_bits, store)
     }
 }

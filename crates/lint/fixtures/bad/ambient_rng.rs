@@ -1,0 +1,7 @@
+// path: crates/workloads/src/example.rs
+// expect: ambient-rng
+/// Ambient randomness escapes the master-seed discipline.
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,6 @@
+// path: crates/sim/src/example.rs
+// expect: hash-iter
+/// Folding over a `HashMap` makes export order depend on the hasher seed.
+pub fn fold(m: &std::collections::HashMap<u64, u64>) -> u64 {
+    m.values().sum()
+}

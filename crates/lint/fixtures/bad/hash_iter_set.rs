@@ -1,0 +1,6 @@
+// path: crates/wear/src/example.rs
+// expect: hash-iter
+/// Picking "any" element of a `HashSet` is a nondeterministic choice.
+pub fn first(s: &std::collections::HashSet<u64>) -> Option<u64> {
+    s.iter().next().copied()
+}

@@ -1,0 +1,13 @@
+// path: crates/core/src/example.rs
+// expect: lossy-cast
+/// Stats with a lossy fold step.
+pub struct Stats {
+    a: u16,
+    b: u64,
+}
+
+impl Mergeable for Stats {
+    fn merge_from(&mut self, other: &Self) {
+        self.a += other.b as u16;
+    }
+}

@@ -1,0 +1,6 @@
+// path: crates/trace/src/example.rs
+// expect: lossy-cast
+/// Truncating a fold result silently corrupts the accounting.
+pub fn to_counter(total: u64) -> u32 {
+    total as u32
+}

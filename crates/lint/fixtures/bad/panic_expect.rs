@@ -1,0 +1,6 @@
+// path: crates/xbar/src/example.rs
+// expect: panic-policy
+/// Library code must not expect.
+pub fn head(xs: &[u64]) -> u64 {
+    xs.first().copied().expect("nonempty input")
+}

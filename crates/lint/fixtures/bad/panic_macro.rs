@@ -1,0 +1,8 @@
+// path: crates/reram/src/example.rs
+// expect: panic-policy
+/// Library code must not panic!.
+pub fn check(x: u64) {
+    if x == 0 {
+        panic!("zero is not allowed");
+    }
+}

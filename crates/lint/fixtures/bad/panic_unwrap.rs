@@ -1,0 +1,6 @@
+// path: crates/sim/src/example.rs
+// expect: panic-policy
+/// Library code must not unwrap.
+pub fn head(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}

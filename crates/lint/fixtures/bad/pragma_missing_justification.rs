@@ -1,0 +1,8 @@
+// path: crates/sim/src/example.rs
+// expect: pragma
+/// A pragma without a justification suppresses its target but is itself
+/// reported, so it can never land unexplained.
+pub fn head(xs: &[u64]) -> u64 {
+    // lint: allow(panic-policy)
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,7 @@
+// path: crates/sim/src/example.rs
+// expect: pragma
+/// A typo'd rule name must be an error, never a silent no-op.
+pub fn f() -> u64 {
+    // lint: allow(panick-policy) — typo in the rule name
+    42
+}

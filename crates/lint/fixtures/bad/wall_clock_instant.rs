@@ -1,0 +1,7 @@
+// path: crates/core/src/example.rs
+// expect: wall-clock
+/// Host-clock reads couple simulated results to machine speed.
+pub fn stamp() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}

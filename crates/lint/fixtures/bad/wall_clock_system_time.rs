@@ -1,0 +1,9 @@
+// path: crates/memctrl/src/example.rs
+// expect: wall-clock
+/// Wall-clock state in simulated logic breaks run-to-run identity.
+pub fn epoch_secs() -> u64 {
+    match std::time::SystemTime::UNIX_EPOCH.elapsed() {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,8 @@
+// path: crates/bench/src/bin/example.rs
+use ladder_bench::{config_from_args, emit_trace_if_requested, runner_from_args};
+
+fn main() {
+    let cfg = config_from_args();
+    let _runner = runner_from_args();
+    emit_trace_if_requested(&cfg);
+}

@@ -1,0 +1,7 @@
+// path: crates/sim/src/example.rs
+use std::collections::BTreeMap;
+
+/// Sorted iteration is deterministic by construction.
+pub fn fold(m: &BTreeMap<u64, u64>) -> u64 {
+    m.values().sum()
+}

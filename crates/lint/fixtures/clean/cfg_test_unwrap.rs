@@ -1,0 +1,17 @@
+// path: crates/sim/src/example.rs
+/// Production half of the file.
+pub fn double(x: u64) -> u64 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_hash_and_unwrap() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+    }
+}

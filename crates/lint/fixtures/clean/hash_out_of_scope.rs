@@ -1,0 +1,8 @@
+// path: crates/xbar/src/example.rs
+use std::collections::HashMap;
+
+/// `HashMap` is fine outside the determinism-critical crates as long as
+/// no exported ordering depends on it.
+pub fn lookup(m: &HashMap<u64, u64>, k: u64) -> Option<u64> {
+    m.get(&k).copied()
+}

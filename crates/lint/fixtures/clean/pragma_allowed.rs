@@ -1,0 +1,6 @@
+// path: crates/sim/src/example.rs
+/// A justified pragma is the sanctioned escape hatch.
+pub fn head(xs: &[u64]) -> u64 {
+    // lint: allow(panic-policy) — invariant: callers guarantee xs is nonempty
+    xs.first().copied().unwrap()
+}

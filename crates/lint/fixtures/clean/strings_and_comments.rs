@@ -1,0 +1,7 @@
+// path: crates/sim/src/example.rs
+// A comment may talk about HashMap, Instant::now() and thread_rng freely.
+/// Returns documentation text mentioning banned names.
+pub fn describe() -> &'static str {
+    "HashMap iteration, Instant::now(), thread_rng and .unwrap() in a \
+     string literal are data, not code"
+}

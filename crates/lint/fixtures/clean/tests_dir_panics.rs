@@ -1,0 +1,7 @@
+// path: crates/sim/tests/example.rs
+/// Integration tests may unwrap and panic.
+#[test]
+fn asserts_hard() {
+    let xs = vec![1u64];
+    assert_eq!(xs.first().copied().unwrap(), 1);
+}

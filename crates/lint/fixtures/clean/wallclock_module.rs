@@ -1,0 +1,7 @@
+// path: crates/sim/src/wallclock.rs
+use std::time::{Duration, Instant};
+
+/// The sanctioned wall-clock module itself may read the host clock.
+pub fn elapsed_since_start() -> Duration {
+    Instant::now().elapsed()
+}

@@ -1,0 +1,5 @@
+// path: crates/trace/src/example.rs
+/// Widening casts lose nothing and are allowed in accounting code.
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}

@@ -1,0 +1,203 @@
+//! `ladder-lint`: the workspace's determinism & accounting conformance
+//! analyzer.
+//!
+//! The reproduction's headline guarantees — bit-identical results at any
+//! `--jobs`, golden-trace digests, exact trace↔stats reconciliation — are
+//! structural properties: they hold because no code in the simulation,
+//! fold, or export paths consults iteration-order-unstable containers, the
+//! host clock, or ambient randomness, and because accounting arithmetic
+//! never silently truncates. This crate enforces those invariants as
+//! deny-by-default lint rules over a hand-rolled, string/char/comment-aware
+//! Rust lexer (no `syn` — the workspace builds `--offline` with path-local
+//! dependencies only).
+//!
+//! See DESIGN.md §11 for the rule catalog and the pragma grammar, and
+//! [`rules::RULES`] for the machine-readable version.
+
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{analyze, Finding, RuleInfo, RULES};
+
+use std::io;
+use std::path::Path;
+
+/// Lints every source file under `root` and returns all findings, sorted
+/// by path then position.
+pub fn run_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut out = Vec::new();
+    for file in workspace::discover(root)? {
+        let source = std::fs::read_to_string(&file.abs_path)?;
+        out.extend(analyze(&file.rel_path, &source));
+    }
+    Ok(out)
+}
+
+/// One fixture file's outcome.
+#[derive(Debug)]
+pub struct FixtureReport {
+    /// Fixture path relative to the fixture directory.
+    pub fixture: String,
+    /// Virtual workspace path the snippet was analyzed under
+    /// (`// path:` header, or the fixture path itself).
+    pub virtual_path: String,
+    /// Rule the fixture expects to fire (`// expect:` header), if any.
+    pub expected: Option<String>,
+    /// What actually fired.
+    pub findings: Vec<Finding>,
+}
+
+impl FixtureReport {
+    /// Whether the outcome matches the fixture's declared expectation:
+    /// exactly one finding of the expected rule, or zero findings for a
+    /// clean fixture.
+    pub fn conforms(&self) -> bool {
+        match &self.expected {
+            Some(rule) => self.findings.len() == 1 && self.findings[0].rule == rule,
+            None => self.findings.is_empty(),
+        }
+    }
+}
+
+/// Lints a fixture corpus. Each `.rs` file may carry header comments:
+///
+/// ```text
+/// // path: crates/sim/src/example.rs
+/// // expect: hash-iter
+/// ```
+///
+/// `path:` sets the virtual workspace path the path-scoped rules see;
+/// `expect:` declares the single rule the snippet must fire (absent for
+/// clean fixtures).
+pub fn run_fixtures(dir: &Path) -> io::Result<Vec<FixtureReport>> {
+    let mut reports = Vec::new();
+    let mut files = Vec::new();
+    collect_fixture_files(dir, dir, &mut files)?;
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    for (fixture, abs) in files {
+        let source = std::fs::read_to_string(&abs)?;
+        let virtual_path = header(&source, "path:").unwrap_or_else(|| fixture.clone());
+        let expected = header(&source, "expect:");
+        let findings = analyze(&virtual_path, &source);
+        reports.push(FixtureReport {
+            fixture,
+            virtual_path,
+            expected,
+            findings,
+        });
+    }
+    Ok(reports)
+}
+
+fn collect_fixture_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<(String, std::path::PathBuf)>,
+) -> io::Result<()> {
+    let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_fixture_files(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Reads a `// <key> <value>` header from the leading comment lines.
+fn header(source: &str, key: &str) -> Option<String> {
+    for line in source.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Some(comment) = trimmed.strip_prefix("//") else {
+            break; // headers only live above the first code line
+        };
+        if let Some(value) = comment.trim().strip_prefix(key) {
+            return Some(value.trim().to_string());
+        }
+    }
+    None
+}
+
+/// Renders findings as a JSON array (stable field order, no dependencies).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let findings = vec![Finding {
+            rule: "panic-policy",
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col: 9,
+            message: "a \"quoted\" message".to_string(),
+        }];
+        let json = to_json(&findings);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert_eq!(to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn header_parsing_stops_at_first_code_line() {
+        let src = "// path: crates/sim/src/x.rs\n// expect: hash-iter\nfn main() {}\n// path: not/this.rs\n";
+        assert_eq!(header(src, "path:").as_deref(), Some("crates/sim/src/x.rs"));
+        assert_eq!(header(src, "expect:").as_deref(), Some("hash-iter"));
+        assert_eq!(header("fn main() {}\n// path: x\n", "path:"), None);
+    }
+}

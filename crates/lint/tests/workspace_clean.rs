@@ -1,0 +1,27 @@
+//! The live workspace must be lint-clean: zero findings across every
+//! source file. This is the same gate `scripts/verify.sh` enforces via the
+//! CLI; running it as a test keeps `cargo test` sufficient to catch a
+//! violation without the full verify pipeline.
+
+use std::path::Path;
+
+use ladder_lint::{run_workspace, to_json};
+
+#[test]
+fn live_workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels under the workspace root");
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let findings = run_workspace(root).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        to_json(&findings)
+    );
+}

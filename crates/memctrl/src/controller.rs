@@ -879,6 +879,7 @@ impl MemoryController {
             })
         };
         let Some(idx) = idx else { return false };
+        // lint: allow(panic-policy) — invariant: idx was just produced by position() over this same queue
         let entry = self.channels[ch].rdq.remove(idx).expect("index valid");
         let bank = self.bank_of(entry.addr);
         let nominal_burst = Instant::from_ps((now + lat).as_ps() - timing.t_burst.as_ps());

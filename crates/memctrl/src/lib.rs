@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Cycle-level ReRAM memory controller with pluggable write-latency
 //! policies.
 //!

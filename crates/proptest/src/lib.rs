@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Offline drop-in subset of the `proptest` API.
 //!
 //! The container this workspace builds in has no registry access, so the

@@ -117,6 +117,7 @@ impl AddressMap {
     /// [`Geometry::validate`].
     pub fn new(geometry: Geometry) -> Self {
         if let Err(msg) = geometry.validate() {
+            // lint: allow(panic-policy) — constructor contract: invalid geometry is a configuration bug, documented under # Panics
             panic!("unsupported geometry: {msg}");
         }
         Self { geometry }

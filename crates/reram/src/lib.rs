@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! ReRAM main-memory organization: geometry, physical address mapping,
 //! timing parameters, content store and the simulator's time base.
 //!

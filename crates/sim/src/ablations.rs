@@ -84,6 +84,7 @@ fn sweep_with_base<V: Copy + Sync>(
         }
     });
     let rest = results.split_off(1);
+    // lint: allow(panic-policy) — invariant: split_off(1) leaves exactly the baseline run in results
     (results.pop().expect("baseline run"), rest)
 }
 

@@ -95,6 +95,7 @@ impl Workload {
                 .iter()
                 .find(|(name, _)| name == m)
                 .map(|(_, members)| members.to_vec())
+                // lint: allow(panic-policy) — caller contract: mix names come from the fixed MIXES catalog, documented under # Panics
                 .unwrap_or_else(|| panic!("unknown mix {m}")),
         }
     }
@@ -264,6 +265,7 @@ impl WorkloadEval {
         self.runs
             .iter()
             .find(|r| r.scheme == scheme)
+            // lint: allow(panic-policy) — caller contract: scheme must be part of the evaluation, documented under # Panics
             .unwrap_or_else(|| panic!("scheme {scheme} not evaluated"))
     }
 
@@ -277,6 +279,7 @@ impl WorkloadEval {
             .runs
             .iter()
             .position(|r| r.scheme == scheme)
+            // lint: allow(panic-policy) — caller contract: scheme must be part of the evaluation, documented under # Panics
             .unwrap_or_else(|| panic!("scheme {scheme} not evaluated"));
         self.speedups[idx]
     }
@@ -394,6 +397,7 @@ impl<'a> MainEvalBuilder<'a> {
         let base_idx = schemes
             .iter()
             .position(|&s| s == Scheme::Baseline)
+            // lint: allow(panic-policy) — invariant: position() cannot fail, Baseline membership was checked above
             .expect("checked above");
         let mut per_workload: Vec<(Workload, Vec<RunResult>)> = Vec::with_capacity(workloads.len());
         let mut it = results.into_iter();
@@ -606,6 +610,7 @@ impl FigureSeries {
             .schemes
             .iter()
             .position(|&s| s == scheme)
+            // lint: allow(panic-policy) — caller contract: scheme must be part of the series, documented under # Panics
             .unwrap_or_else(|| panic!("scheme {scheme} not in series"));
         self.average[idx]
     }
@@ -735,6 +740,7 @@ fn fig15_cell(cfg: &ExperimentConfig, tables: &Tables, w: Workload, shifting: bo
         while let Some(ev) = trace.next_event() {
             if let ladder_cpu::TraceOp::Write { addr, data } = ev.op {
                 while !mc.enqueue_write(addr, *data, now) {
+                    // lint: allow(panic-policy) — invariant: an unfinished controller always schedules a next wake (kernel progress invariant, DESIGN §3)
                     now = mc.next_wake(now).expect("controller progress");
                     mc.process(now);
                 }
@@ -877,6 +883,7 @@ pub fn error_rate_sweep(
     let lifetime_of = |r: &RunResult| {
         r.wear
             .as_ref()
+            // lint: allow(panic-policy) — invariant: fault sweeps enable wear tracking in every RunSpec they build
             .expect("wear tracking enabled")
             .with(|w| w.lifetime_seconds(endurance, r.end.duration_since(Instant::ZERO)))
     };
@@ -897,6 +904,7 @@ pub fn error_rate_sweep(
                 retry_time_frac: r.mem.retry_time.as_ps() as f64 / r.end.as_ps().max(1) as f64,
                 lifetime_s,
                 lifetime_vs_fault_free: lifetime_s / lifetime_of(control),
+                // lint: allow(panic-policy) — invariant: fault sweeps run with the fault model installed two lines up
                 faults: r.faults.expect("fault model installed"),
             });
         }
@@ -1107,6 +1115,7 @@ pub fn crash_recovery(cfg: &ExperimentConfig, bench: &'static str) -> CrashRecov
             let Some(ev) = gen.next_event() else { break };
             if let ladder_cpu::TraceOp::Write { addr, data } = ev.op {
                 while !mc.enqueue_write(addr, *data, *now) {
+                    // lint: allow(panic-policy) — invariant: an unfinished controller always schedules a next wake (kernel progress invariant, DESIGN §3)
                     *now = mc.next_wake(*now).expect("controller progress");
                     mc.process(*now);
                 }
@@ -1204,7 +1213,7 @@ pub fn hot_remap_extension(
         }
     });
     let (base, plain, remapped) = (&runs[0], &runs[1], &runs[2]);
-    let twr = |r: &crate::system::RunResult| {
+    let twr = |r: &RunResult| {
         if r.mem.data_writes == 0 {
             0.0
         } else {

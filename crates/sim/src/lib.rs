@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Full-system simulation and the paper's experiments.
 //!
 //! This crate assembles the substrates — crossbar timing tables
@@ -15,6 +13,7 @@ pub mod overhead;
 pub mod runner;
 mod scheme;
 mod system;
+pub mod wallclock;
 
 pub use runner::{default_jobs, AloneIpcCache, RunSpec, Runner, RunnerStats};
 pub use scheme::Scheme;

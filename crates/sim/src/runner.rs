@@ -26,10 +26,10 @@
 //! eprintln!("{}", stats.summary());
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
 
 use ladder_memctrl::Tables;
 use ladder_reram::Picos;
@@ -229,13 +229,13 @@ impl Runner {
         F: Fn(usize) -> T + Sync,
     {
         let workers = self.jobs.min(n.max(1));
-        let start = Instant::now();
+        let start = crate::wallclock::Stopwatch::start();
         let mut results: Vec<T> = Vec::with_capacity(n);
         let mut job_times: Vec<Duration> = Vec::with_capacity(n);
 
         if workers <= 1 {
             for i in 0..n {
-                let t0 = Instant::now();
+                let t0 = crate::wallclock::Stopwatch::start();
                 results.push(f(i));
                 job_times.push(t0.elapsed());
             }
@@ -250,17 +250,22 @@ impl Runner {
                         if i >= n {
                             break;
                         }
-                        let t0 = Instant::now();
+                        let t0 = crate::wallclock::Stopwatch::start();
                         let out = f(i);
                         let elapsed = t0.elapsed();
-                        *slots[i].lock().unwrap() = Some((out, elapsed));
+                        // A poisoned slot means another worker panicked;
+                        // the panic is already propagating via the scope,
+                        // so storing into the recovered guard is sound.
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) =
+                            Some((out, elapsed));
                     });
                 }
             });
             for slot in slots {
                 let (out, elapsed) = slot
                     .into_inner()
-                    .unwrap()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    // lint: allow(panic-policy) — invariant: the scope joined, so every slot was filled exactly once
                     .expect("runner: every job slot is filled after the scope joins");
                 results.push(out);
                 job_times.push(elapsed);
@@ -278,13 +283,19 @@ impl Runner {
             events: EventCounts::default(),
             sim_time: Picos::default(),
         };
-        self.accum.lock().unwrap().merge(&stats);
+        self.accum
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .merge(&stats);
         (results, stats)
     }
 
     /// Stats accumulated over every batch this runner has executed so far.
     pub fn cumulative(&self) -> RunnerStats {
-        self.accum.lock().unwrap().clone()
+        self.accum
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Runs a batch of [`RunSpec`] simulation jobs against one shared
@@ -308,7 +319,7 @@ impl Runner {
             stats.sim_time += Picos::from_ps(r.end.as_ps());
         }
         {
-            let mut acc = self.accum.lock().unwrap();
+            let mut acc = self.accum.lock().unwrap_or_else(PoisonError::into_inner);
             acc.events.merge(&stats.events);
             acc.sim_time += stats.sim_time;
         }
@@ -342,7 +353,7 @@ pub fn default_jobs() -> usize {
 /// are simulated on demand.
 #[derive(Debug, Clone, Default)]
 pub struct AloneIpcCache {
-    ipc: HashMap<&'static str, f64>,
+    ipc: BTreeMap<&'static str, f64>,
 }
 
 impl AloneIpcCache {
@@ -365,6 +376,7 @@ impl AloneIpcCache {
     /// for it (a bug in the caller's populate step).
     pub fn ipc(&self, bench: &str) -> f64 {
         self.get(bench)
+            // lint: allow(panic-policy) — populate() precedes every mix-metric read; a miss is a caller bug worth aborting on
             .unwrap_or_else(|| panic!("alone-run IPC for '{bench}' was never populated"))
     }
 

@@ -22,7 +22,7 @@ use ladder_reram::{AddressMap, EventQueue, Geometry, Instant, LineAddr, Picos};
 use ladder_trace::{DispatchKind, Mergeable, Trace, TraceRecord, TraceRecorder};
 use ladder_wear::{RotateHwl, SharedRetirePool, SharedWearMap, WearLeveler};
 use ladder_xbar::{CrossbarParams, TimingTable};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Per-core outcome of a run.
 #[derive(Debug, Clone)]
@@ -374,7 +374,7 @@ impl SystemBuilder {
             leveler: self.leveler,
             retire: fault_model.as_ref().map(|(_, pool)| pool.clone()),
             hwl: self.hwl,
-            pending_reads: HashMap::new(),
+            pending_reads: BTreeMap::new(),
             pending_migrations: VecDeque::new(),
             core_finish: vec![None; cores.len()],
             events: EventQueue::new(),
@@ -555,7 +555,7 @@ struct EventKernel {
     /// (both remap physical pages; retirement wins last).
     retire: Option<SharedRetirePool>,
     hwl: Option<RotateHwl>,
-    pending_reads: HashMap<u64, usize>,
+    pending_reads: BTreeMap<u64, usize>,
     pending_migrations: VecDeque<LineAddr>,
     core_finish: Vec<Option<Instant>>,
     events: EventQueue<EventKind>,

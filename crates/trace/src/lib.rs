@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Structured tracing and mergeable metrics for the LADDER simulator.
 //!
 //! Three layers, each usable on its own:

@@ -18,7 +18,7 @@
 
 use crate::rng_util::SplitMix64;
 use ladder_reram::{LineAddr, LineData, LINES_PER_WLG, LINE_BYTES};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A vertical wear-leveling scheme: remaps line addresses and may emit
 /// extra migration writes.
@@ -108,6 +108,7 @@ impl WearLeveler for StartGap {
         let rel = logical
             .raw()
             .checked_sub(self.base)
+            // lint: allow(panic-policy) — region-membership precondition, documented on the trait; same contract as the assert below
             .expect("address below region base");
         assert!(rel < self.lines, "address beyond region");
         let rotated = (rel + self.start) % self.lines;
@@ -198,6 +199,7 @@ impl WearLeveler for SegmentVwl {
         let rel = logical
             .raw()
             .checked_sub(base_line)
+            // lint: allow(panic-policy) — region-membership precondition, documented on the trait; same contract as the assert below
             .expect("address below region base");
         let seg = rel / self.lines_per_segment();
         assert!(seg < self.segments, "address beyond region");
@@ -235,7 +237,7 @@ impl WearLeveler for SegmentVwl {
 /// Horizontal wear-leveling: rotate a line's bytes by a per-line counter.
 #[derive(Debug, Default)]
 pub struct RotateHwl {
-    offsets: HashMap<u64, u8>,
+    offsets: BTreeMap<u64, u8>,
 }
 
 impl RotateHwl {

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Wear-leveling and lifetime analysis for the LADDER reproduction
 //! (paper Section 6.4).
 //!

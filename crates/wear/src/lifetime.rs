@@ -8,7 +8,8 @@
 
 use ladder_memctrl::AccessObserver;
 use ladder_reram::{Instant, LineAddr, Picos};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::PoisonError;
 
 /// Per-line write-count tracker; plugs into the controller as an
 /// [`AccessObserver`].
@@ -30,7 +31,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct WearMap {
-    counts: HashMap<u64, u64>,
+    counts: BTreeMap<u64, u64>,
 }
 
 impl WearMap {
@@ -113,7 +114,9 @@ impl SharedWearMap {
 
     /// Runs `f` over the underlying map.
     pub fn with<R>(&self, f: impl FnOnce(&WearMap) -> R) -> R {
-        f(&self.0.lock().expect("wear map poisoned"))
+        // Poison recovery: a panic elsewhere is already propagating and
+        // per-call mutation keeps the map consistent.
+        f(&self.0.lock().unwrap_or_else(PoisonError::into_inner))
     }
 }
 
@@ -121,7 +124,7 @@ impl AccessObserver for SharedWearMap {
     fn on_write(&mut self, addr: LineAddr, bits_set: u32, bits_reset: u32) {
         self.0
             .lock()
-            .expect("wear map poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .on_write(addr, bits_set, bits_reset);
     }
 }

@@ -12,7 +12,8 @@
 
 use crate::leveling::WearLeveler;
 use ladder_reram::{LineAddr, LINES_PER_WLG};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::PoisonError;
 
 /// Adaptive write-hot page remapper.
 ///
@@ -39,9 +40,9 @@ pub struct HotPageRemapper {
     /// Low-row frame pages not yet holding a promoted page.
     free_frames: Vec<u64>,
     /// Symmetric page swap table.
-    swaps: HashMap<u64, u64>,
+    swaps: BTreeMap<u64, u64>,
     /// Per-page write counts since the last promotion.
-    counts: HashMap<u64, u64>,
+    counts: BTreeMap<u64, u64>,
     writes: u64,
     promote_interval: u64,
     /// Migration writes still to surface (a swap copies two pages).
@@ -61,8 +62,8 @@ impl HotPageRemapper {
         assert!(promote_interval > 0, "promotion interval must be nonzero");
         Self {
             free_frames: frames,
-            swaps: HashMap::new(),
-            counts: HashMap::new(),
+            swaps: BTreeMap::new(),
+            counts: BTreeMap::new(),
             writes: 0,
             promote_interval,
             pending_migrations: 0,
@@ -155,7 +156,7 @@ impl WearLeveler for HotPageRemapper {
 #[derive(Debug, Default)]
 pub struct RetirePool {
     spares: Vec<u64>,
-    retired: HashMap<u64, u64>,
+    retired: BTreeMap<u64, u64>,
     /// Copy-out writes still to surface (one page copy per retirement).
     pending_migrations: u64,
     retirements: u64,
@@ -254,12 +255,17 @@ impl SharedRetirePool {
 
     /// Runs `f` over the underlying pool.
     pub fn with<R>(&self, f: impl FnOnce(&RetirePool) -> R) -> R {
-        f(&self.0.lock().expect("retire pool poisoned"))
+        // Poison recovery: a panic elsewhere is already propagating and
+        // per-call mutation keeps the pool consistent.
+        f(&self.0.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// See [`RetirePool::retire`].
     pub fn retire(&self, page: u64) -> Option<bool> {
-        self.0.lock().expect("retire pool poisoned").retire(page)
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retire(page)
     }
 
     /// See [`RetirePool::map`] (via [`WearLeveler`]).
@@ -276,7 +282,7 @@ impl WearLeveler for SharedRetirePool {
     fn note_write(&mut self, logical: LineAddr) -> Vec<LineAddr> {
         self.0
             .lock()
-            .expect("retire pool poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .note_write(logical)
     }
 

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Synthetic workload generators standing in for SPEC2006 / PARSEC.
 //!
 //! The paper drives its evaluation with eight single-programmed benchmarks

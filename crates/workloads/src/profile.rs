@@ -148,6 +148,7 @@ pub fn profile_of(name: &str) -> BenchmarkProfile {
         "zeusmp" => p(
             "zeusmp", 8.0, 2.3, 0.07, 12, 35_000, 0.80, 0.80, true, 0.30, 0.30, 0.45,
         ),
+        // lint: allow(panic-policy) — caller contract: benchmark names are validated against the catalog at workload parse time
         other => panic!("unknown benchmark {other:?}"),
     }
 }

@@ -74,6 +74,7 @@ pub fn estimate_vd(params: &CrossbarParams, op: &OperatingPoint) -> Vec<(usize, 
     bls.dedup();
     assert!(!bls.is_empty(), "at least one target bitline required");
     assert!(
+        // lint: allow(panic-policy) — invariant: the assert above guarantees bls is nonempty
         *bls.last().expect("nonempty") < cols,
         "target bitline out of range"
     );

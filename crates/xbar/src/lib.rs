@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Circuit-level model of crossbar ReRAM RESET timing.
 //!
 //! This crate is the physics substrate of the LADDER reproduction: it

@@ -222,6 +222,7 @@ pub mod csr {
                 let mut last: Option<usize> = None;
                 for &(c, v) in row.iter() {
                     if last == Some(c) {
+                        // lint: allow(panic-policy) — invariant: last == Some(c) implies values got an entry on a previous iteration
                         *values.last_mut().expect("entry exists") += v;
                     } else {
                         col_idx.push(c);

@@ -13,6 +13,12 @@ test:
 clippy:
     cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Project-invariant static analysis (determinism, accounting safety, panic
+# policy, bench-binary conformance). `--json` and `--list-rules` are also
+# available on the binary; see DESIGN.md §11.
+lint:
+    cargo run --release -q -p ladder-lint --offline -- --root .
+
 # Run the criterion-shim benches once each, which also enforces the
 # tracing disabled-path allocation gate (trace_overhead).
 bench-check:

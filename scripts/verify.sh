@@ -17,6 +17,18 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Project-invariant gate: determinism / accounting / panic-policy /
+# bench-conformance rules over every workspace source file (fails on any
+# finding), plus a self-check that the analyzer still flags its bad-fixture
+# corpus. Runs before the slow bench smoke so violations fail fast.
+echo "==> ladder-lint (workspace invariants)"
+cargo run --release -q -p ladder-lint --offline -- --root .
+if cargo run --release -q -p ladder-lint --offline -- \
+        --fixtures crates/lint/fixtures/bad >/dev/null 2>&1; then
+    echo "error: ladder-lint reported the bad-fixture corpus as clean" >&2
+    exit 1
+fi
+
 # The criterion-shim benches double as gates: trace_overhead asserts the
 # write hot path performs zero allocations with tracing disabled.
 echo "==> bench smoke + tracing allocation gate"

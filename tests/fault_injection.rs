@@ -157,3 +157,37 @@ fn error_rate_sweep_is_identical_at_any_job_count() {
         );
     }
 }
+
+#[test]
+fn fault_sweep_output_is_byte_stable_across_runs() {
+    // The satellite contract behind the `hash-iter` lint rule: two fully
+    // independent sweeps (fresh fault models, wear maps and retire pools)
+    // must render byte-for-byte identical output. Before the
+    // BTreeMap conversion of the fold/export paths this held only by
+    // hasher-seed luck.
+    let cfg = tiny_cfg(11);
+    let bers = [1e-3, 5e-3];
+    let w = Workload::Single("astar");
+    let render = |rows: &[ladder::sim::experiments::FaultSweepRow]| {
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "{} ber={:e} ipc={} rel={} rpk={} rtf={} life={} vs={} faults={:?}\n",
+                    r.scheme,
+                    r.ber,
+                    r.ipc.to_bits(),
+                    r.ipc_vs_fault_free.to_bits(),
+                    r.retries_per_kilowrite.to_bits(),
+                    r.retry_time_frac.to_bits(),
+                    r.lifetime_s.to_bits(),
+                    r.lifetime_vs_fault_free.to_bits(),
+                    r.faults,
+                )
+            })
+            .collect::<String>()
+    };
+    let first = render(&error_rate_sweep(&cfg, w, &bers, &Runner::with_jobs(2)));
+    let second = render(&error_rate_sweep(&cfg, w, &bers, &Runner::with_jobs(2)));
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "fault-sweep output is not byte-stable");
+}
