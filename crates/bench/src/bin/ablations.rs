@@ -3,13 +3,14 @@
 //! rows, timing-table granularity, drain watermarks, and vertical
 //! wear-leveling granularity.
 
-use ladder_bench::{config_from_args, emit_trace_if_requested, report_runner, runner_from_args};
+use ladder_bench::{report_runner, BenchArgs};
 use ladder_sim::ablations::*;
 use ladder_sim::experiments::Workload;
 
 fn main() {
-    let cfg = config_from_args();
-    let runner = runner_from_args();
+    let args = BenchArgs::parse();
+    let cfg = args.cfg.clone();
+    let runner = args.runner();
     let w = Workload::Single("astar");
     let wmix = Workload::Mix("mix-1");
 
@@ -41,5 +42,5 @@ fn main() {
     println!("== vertical wear-leveling granularity (LADDER-Est, astar) ==");
     println!("{}", render(&vwl_comparison(&cfg, w, &runner)));
     report_runner(&runner);
-    emit_trace_if_requested(&cfg);
+    args.emit_trace_if_requested(&cfg);
 }

@@ -1,14 +1,14 @@
 //! Regenerates the Section 7 crash-consistency study: write-latency decay
 //! after lazy LRS-metadata correction.
 
-use ladder_bench::{accept_jobs_flag, config_from_args, emit_trace_if_requested};
+use ladder_bench::BenchArgs;
 use ladder_sim::experiments::crash_recovery;
 
 fn main() {
-    let cfg = config_from_args();
     // One crash-recovery run per benchmark, sequential by design; `--jobs`
-    // is accepted for interface uniformity.
-    accept_jobs_flag();
+    // is accepted (by BenchArgs) for interface uniformity.
+    let args = BenchArgs::parse();
+    let cfg = args.cfg.clone();
     for bench in ["astar", "libq"] {
         let r = crash_recovery(&cfg, bench);
         println!("{bench}: steady-state mean tWR = {:.1} ns", r.steady_twr_ns);
@@ -21,5 +21,5 @@ fn main() {
             100.0 * r.steady_twr_ns / last.max(1e-9)
         );
     }
-    emit_trace_if_requested(&cfg);
+    args.emit_trace_if_requested(&cfg);
 }

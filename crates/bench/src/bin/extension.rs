@@ -1,12 +1,13 @@
 //! Evaluates the paper's Section 8 future-work idea: LADDER combined with
 //! adaptive remapping of write-hot pages to low-latency (bottom) rows.
 
-use ladder_bench::{config_from_args, emit_trace_if_requested, report_runner, runner_from_args};
+use ladder_bench::{report_runner, BenchArgs};
 use ladder_sim::experiments::{hot_remap_extension, Workload};
 
 fn main() {
-    let cfg = config_from_args();
-    let runner = runner_from_args();
+    let args = BenchArgs::parse();
+    let cfg = args.cfg.clone();
+    let runner = args.runner();
     println!("Extension — LADDER-Hybrid + hot-page remapping to bottom rows");
     println!(
         "{:<9}{:>16}{:>16}{:>14}{:>14}",
@@ -29,5 +30,5 @@ fn main() {
         );
     }
     report_runner(&runner);
-    emit_trace_if_requested(&cfg);
+    args.emit_trace_if_requested(&cfg);
 }

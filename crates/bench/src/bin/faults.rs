@@ -6,12 +6,13 @@
 //! the physical timing table); they differ in what a verify read and a
 //! retry pulse cost them.
 
-use ladder_bench::{config_from_args, emit_trace_if_requested, report_runner, runner_from_args};
+use ladder_bench::{report_runner, BenchArgs};
 use ladder_sim::experiments::{error_rate_sweep, Workload};
 
 fn main() {
-    let cfg = config_from_args();
-    let runner = runner_from_args();
+    let args = BenchArgs::parse();
+    let cfg = args.cfg.clone();
+    let runner = args.runner();
     let bers = [1e-4, 1e-3, 5e-3, 2e-2];
     println!("Extension — device fault injection (workload: mix-1)");
     println!(
@@ -41,5 +42,5 @@ fn main() {
         );
     }
     report_runner(&runner);
-    emit_trace_if_requested(&cfg);
+    args.emit_trace_if_requested(&cfg);
 }

@@ -2,17 +2,17 @@
 //! for the two extreme wordline data patterns (sub-tables of the timing
 //! table for the lowest and highest content bands).
 
-use ladder_bench::{accept_jobs_flag, emit_trace_if_requested, quick_requested};
+use ladder_bench::BenchArgs;
 use ladder_sim::experiments::ExperimentConfig;
 use ladder_xbar::{TableConfig, TimingTable};
 
 fn main() {
-    // Single table generation; `--jobs` is accepted for interface
-    // uniformity.
-    accept_jobs_flag();
+    // Single table generation; `--jobs` is accepted (by BenchArgs) for
+    // interface uniformity.
+    let args = BenchArgs::parse();
     let mut cfg = TableConfig::ladder_default();
     // `--quick` coarsens the surface to a 4-band table for CI smoke runs.
-    if quick_requested() {
+    if args.quick {
         cfg.bands = 4;
     }
     let table = match TimingTable::generate(&cfg) {
@@ -43,5 +43,5 @@ fn main() {
     }
     // This binary has no simulation of its own; a requested trace runs at
     // smoke scale.
-    emit_trace_if_requested(&ExperimentConfig::quick());
+    args.emit_trace_if_requested(&ExperimentConfig::quick());
 }

@@ -1,12 +1,13 @@
 //! Regenerates Figure 15: mean LRS-counter difference between LADDER-Est
 //! and accurate counting, without (a) and with (b) intra-line bit shifting.
 
-use ladder_bench::{config_from_args, emit_trace_if_requested, report_runner, runner_from_args};
+use ladder_bench::{report_runner, BenchArgs};
 use ladder_sim::experiments::fig15;
 
 fn main() {
-    let cfg = config_from_args();
-    let runner = runner_from_args();
+    let args = BenchArgs::parse();
+    let cfg = args.cfg.clone();
+    let runner = args.runner();
     println!("Figure 15 — mean C^w_lrs difference (Est − accurate)");
     println!(
         "{:<9}{:>20}{:>18}",
@@ -19,5 +20,5 @@ fn main() {
         );
     }
     report_runner(&runner);
-    emit_trace_if_requested(&cfg);
+    args.emit_trace_if_requested(&cfg);
 }

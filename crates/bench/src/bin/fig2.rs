@@ -1,12 +1,13 @@
 //! Regenerates Figure 2: normalized IPC of worst-case, location-aware and
 //! data/location-aware write schemes on the single-programmed benchmarks.
 
-use ladder_bench::{config_from_args, emit_trace_if_requested, report_runner, runner_from_args};
+use ladder_bench::{report_runner, BenchArgs};
 use ladder_sim::experiments::fig2;
 
 fn main() {
-    let cfg = config_from_args();
-    let runner = runner_from_args();
+    let args = BenchArgs::parse();
+    let cfg = args.cfg.clone();
+    let runner = args.runner();
     println!("Figure 2 — normalized IPC (worst-case = 1.0)");
     println!(
         "{:<8}{:>16}{:>22}",
@@ -25,5 +26,5 @@ fn main() {
     let n = rows.len() as f64;
     println!("{:<8}{:>16.3}{:>22.3}", "AVG", sl / n, sd / n);
     report_runner(&runner);
-    emit_trace_if_requested(&cfg);
+    args.emit_trace_if_requested(&cfg);
 }

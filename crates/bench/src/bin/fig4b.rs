@@ -1,15 +1,16 @@
 //! Regenerates Figure 4b: RESET latency as a function of the selected
 //! wordline's LRS percentage, for a far cell (①) and a near cell (②).
 
-use ladder_bench::{accept_jobs_flag, emit_trace_if_requested, quick_requested};
+use ladder_bench::BenchArgs;
 use ladder_sim::experiments::ExperimentConfig;
 use ladder_xbar::{calibrate_device_law, latency_vs_wl_content, CrossbarParams};
 
 fn main() {
-    // Single analytic sweep; `--jobs` is accepted for interface uniformity.
-    accept_jobs_flag();
+    // Single analytic sweep; `--jobs` is accepted (by BenchArgs) for
+    // interface uniformity.
+    let args = BenchArgs::parse();
     // `--quick` halves the sweep resolution for CI smoke runs.
-    let points = if quick_requested() { 10 } else { 20 };
+    let points = if args.quick { 10 } else { 20 };
     let params = CrossbarParams::default();
     let law = calibrate_device_law(&params, 29.0, 658.0);
     // Cell ① sits far from both drivers; cell ② sits near them.
@@ -22,5 +23,5 @@ fn main() {
     }
     // This binary has no simulation of its own; a requested trace runs at
     // smoke scale.
-    emit_trace_if_requested(&ExperimentConfig::quick());
+    args.emit_trace_if_requested(&ExperimentConfig::quick());
 }

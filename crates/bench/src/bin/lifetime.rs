@@ -2,12 +2,13 @@
 //! and performance of the LADDER schemes under segment-based vertical
 //! wear-leveling plus horizontal byte rotation.
 
-use ladder_bench::{config_from_args, emit_trace_if_requested, report_runner, runner_from_args};
+use ladder_bench::{report_runner, BenchArgs};
 use ladder_sim::experiments::{lifetime, Workload};
 
 fn main() {
-    let cfg = config_from_args();
-    let runner = runner_from_args();
+    let args = BenchArgs::parse();
+    let cfg = args.cfg.clone();
+    let runner = args.runner();
     println!("Section 6.4 — wear-leveling integration (workload: mix-1)");
     println!(
         "{:<16}{:>14}{:>12}{:>18}{:>20}",
@@ -24,5 +25,5 @@ fn main() {
         );
     }
     report_runner(&runner);
-    emit_trace_if_requested(&cfg);
+    args.emit_trace_if_requested(&cfg);
 }

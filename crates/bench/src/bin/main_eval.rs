@@ -4,19 +4,13 @@
 //!
 //! Pass `--csv DIR` to additionally write one CSV per figure into `DIR`.
 
-use ladder_bench::{config_from_args, emit_trace_if_requested, runner_from_args};
+use ladder_bench::BenchArgs;
 use ladder_sim::experiments::MainEval;
 
-fn csv_dir() -> Option<std::path::PathBuf> {
-    let args: Vec<String> = std::env::args().collect();
-    args.windows(2)
-        .find(|w| w[0] == "--csv")
-        .map(|w| std::path::PathBuf::from(&w[1]))
-}
-
 fn main() {
-    let cfg = config_from_args();
-    let runner = runner_from_args();
+    let args = BenchArgs::parse();
+    let cfg = args.cfg.clone();
+    let runner = args.runner();
     eprintln!(
         "running 16 workloads x 7 schemes at {} instructions/core on {} worker(s) ...",
         cfg.instructions_per_core,
@@ -56,7 +50,7 @@ fn main() {
     for s in ladder_sim::Scheme::MAIN_EVAL {
         println!("avg normalized energy, {}: {:.3}", s, eval.avg_energy_of(s));
     }
-    if let Some(dir) = csv_dir() {
+    if let Some(dir) = args.csv.as_ref().map(std::path::PathBuf::from) {
         std::fs::create_dir_all(&dir).expect("create csv dir");
         let dump = |name: &str, csv: String| {
             std::fs::write(dir.join(name), csv).expect("write csv");
@@ -77,5 +71,5 @@ fn main() {
         dump("fig16_speedup.csv", eval.fig16_speedup().to_csv());
         eprintln!("CSV written to {}", dir.display());
     }
-    emit_trace_if_requested(&cfg);
+    args.emit_trace_if_requested(&cfg);
 }

@@ -6,19 +6,19 @@
 //! This is the expensive end-to-end check of DESIGN.md §2's substitution
 //! argument; expect ~0.5–2 minutes of solver time.
 
-use ladder_bench::{accept_jobs_flag, emit_trace_if_requested, quick_requested};
+use ladder_bench::BenchArgs;
 use ladder_sim::experiments::ExperimentConfig;
 use ladder_sim::wallclock::Stopwatch;
 use ladder_xbar::{SolverKind, TableConfig, TableSource, TimingTable};
 
 fn main() {
-    // Table generation parallelizes internally; `--jobs` is accepted for
-    // interface uniformity.
-    accept_jobs_flag();
+    // Table generation parallelizes internally; `--jobs` is accepted (by
+    // BenchArgs) for interface uniformity.
+    let args = BenchArgs::parse();
     let mut cfg = TableConfig::ladder_default();
     // `--quick` drops to a 2x2x2 table (8 exact solves) for CI smoke runs;
     // the full validation uses 4x4x4.
-    let bands = if quick_requested() { 2 } else { 4 };
+    let bands = if args.quick { 2 } else { 4 };
     cfg.bands = bands;
     eprintln!("generating {bands}x{bands}x{bands} analytic table ...");
     let ana = TimingTable::generate(&cfg).expect("analytic table");
@@ -59,5 +59,5 @@ fn main() {
     );
     // This binary has no simulation of its own; a requested trace runs at
     // smoke scale.
-    emit_trace_if_requested(&ExperimentConfig::quick());
+    args.emit_trace_if_requested(&ExperimentConfig::quick());
 }

@@ -1,7 +1,7 @@
 //! Prints Tables 1–4: crossbar parameters, architecture parameters, the
 //! workload list, and the hardware-overhead summary.
 
-use ladder_bench::{accept_jobs_flag, emit_trace_if_requested, quick_requested};
+use ladder_bench::BenchArgs;
 use ladder_memctrl::MemCtrlConfig;
 use ladder_reram::{DeviceTiming, Geometry};
 use ladder_sim::experiments::ExperimentConfig;
@@ -9,20 +9,15 @@ use ladder_workloads::{profile_of, MIXES, SINGLE_BENCHMARKS};
 use ladder_xbar::CrossbarParams;
 
 fn main() {
-    // Pure printing; `--jobs` is accepted for interface uniformity.
-    accept_jobs_flag();
-    // The table selector is the first non-flag argument, so `--trace PATH`
-    // (and any future flags) can ride along.
-    let mut args = std::env::args().skip(1);
-    let mut which = "all".to_string();
-    while let Some(a) = args.next() {
-        if a.starts_with("--") {
-            args.next();
-        } else {
-            which = a;
-            break;
-        }
-    }
+    // Pure printing; `--jobs` is accepted (by BenchArgs) for interface
+    // uniformity. The table selector is the first positional argument, so
+    // `--trace PATH` (and any future flags) can ride along.
+    let args = BenchArgs::parse();
+    let which = args
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
     if matches!(which.as_str(), "all" | "table1") {
         let p = CrossbarParams::default();
         println!("Table 1 — ReRAM crossbar parameters");
@@ -81,7 +76,7 @@ fn main() {
         println!();
     }
     if matches!(which.as_str(), "all" | "table4") {
-        if quick_requested() {
+        if args.quick {
             // Table 4 regenerates a timing table to compute overheads —
             // the only non-trivial work here — so smoke runs skip it.
             println!("Table 4 — skipped under --quick (run without it for overheads)");
@@ -91,5 +86,5 @@ fn main() {
     }
     // This binary has no simulation of its own; a requested trace runs at
     // smoke scale.
-    emit_trace_if_requested(&ExperimentConfig::quick());
+    args.emit_trace_if_requested(&ExperimentConfig::quick());
 }

@@ -1,12 +1,13 @@
 //! Regenerates the Section 7 process-variability study: LADDER-Hybrid's
 //! speedup when the device's latency dynamic range shrinks 2×.
 
-use ladder_bench::{config_from_args, emit_trace_if_requested, report_runner, runner_from_args};
+use ladder_bench::{report_runner, BenchArgs};
 use ladder_sim::experiments::{variability, Workload};
 
 fn main() {
-    let cfg = config_from_args();
-    let runner = runner_from_args();
+    let args = BenchArgs::parse();
+    let cfg = args.cfg.clone();
+    let runner = args.runner();
     for w in [
         Workload::Single("astar"),
         Workload::Single("mcf"),
@@ -22,5 +23,5 @@ fn main() {
         );
     }
     report_runner(&runner);
-    emit_trace_if_requested(&cfg);
+    args.emit_trace_if_requested(&cfg);
 }

@@ -14,103 +14,246 @@
 //! | `variability` | Section 7 — shrunk latency range |
 //! | `tables` | Tables 1–4 — configuration and overheads |
 //! | `faults` | Extension — raw BER sweep: P&V retries, ECC, data loss |
+//! | `interleave` | Extension — striping-policy sweep over a sharded topology |
+//!
+//! Every binary parses the same command line through [`BenchArgs`]:
+//! strict by default (unknown flags exit with the usage message), so the
+//! whole fleet accepts `--quick/--instructions/--seed/--jobs/--trace`
+//! plus the topology surface `--topology CxR` and `--interleave P`.
 //!
 //! Criterion micro-benchmarks for the hot kernels live under `benches/`.
 
-use ladder_sim::experiments::{run_one, ExperimentConfig, RunOptions, Workload};
-use ladder_sim::{Runner, Scheme};
+use ladder_sim::experiments::{ExperimentConfig, Workload};
+use ladder_sim::{run_sharded, run_sim, Interleave, Runner, Scheme, SimConfig, Topology};
 
 /// The flags every binary accepts, printed when parsing fails.
-pub const USAGE: &str =
-    "usage: [--quick] [--instructions N] [--seed S] [--jobs N] [--csv DIR] [--trace PATH]
+pub const USAGE: &str = "usage: [--quick] [--instructions N] [--seed S] [--jobs N] [--topology CxR]
+       [--interleave P] [--csv DIR] [--trace PATH]
   --quick           smoke-test scale (120 k instructions per core)
   --instructions N  instructions per core (overrides --quick)
   --seed S          master workload seed (default 2021)
   --jobs N          worker threads (default: LADDER_JOBS or all cores)
+  --topology CxR    shard runs over C channels x R ranks (e.g. 4x2);
+                    traced runs fold per-shard digests bit-reproducibly
+  --interleave P    address striping policy: channel | bank | page
   --csv DIR         also write CSV output into DIR (main_eval only)
   --trace PATH      additionally run one traced LADDER-Est simulation and
                     write chrome://tracing JSON to PATH (summary on stderr)";
 
-/// Parses the experiment configuration out of an argument list
-/// (defaults: 1 M instructions, seed 2021). `--quick` starts from
-/// [`ExperimentConfig::quick`] — the smoke-test scale CI uses — and an
-/// explicit `--instructions` still overrides it.
+/// The parsed bench command line, shared by every binary.
 ///
-/// # Errors
-///
-/// Returns a message naming the offending argument on an unknown flag, a
-/// flag missing its value, or an unparsable value.
-pub fn parse_config(args: &[String]) -> Result<ExperimentConfig, String> {
-    let mut cfg = if args.iter().any(|a| a == "--quick") {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::default()
-    };
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--instructions" => {
-                cfg.instructions_per_core = flag_value(args, i)?;
-                i += 2;
-            }
-            "--seed" => {
-                cfg.seed = flag_value(args, i)?;
-                i += 2;
-            }
-            "--jobs" | "--csv" | "--trace" => {
-                // `--jobs` is validated by parse_jobs, `--csv` is read by
-                // main_eval and `--trace` by parse_trace; here just
-                // require the value to exist.
-                let _: String = flag_value(args, i)?;
-                i += 2;
-            }
-            "--quick" => i += 1,
-            other => return Err(format!("unknown argument `{other}`")),
-        }
-    }
-    Ok(cfg)
+/// Parse strictly from the process arguments with [`BenchArgs::parse`]
+/// (unknown flags and malformed values print [`USAGE`] and exit with
+/// status 2), or fallibly from a slice with [`BenchArgs::parse_from`].
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Experiment scale and seed: `--quick` starts from
+    /// [`ExperimentConfig::quick`], then `--instructions` and `--seed`
+    /// override individual fields.
+    pub cfg: ExperimentConfig,
+    /// `--jobs N`: worker threads. `None` falls back to `LADDER_JOBS` /
+    /// `available_parallelism()` inside [`BenchArgs::runner`].
+    pub jobs: Option<usize>,
+    /// Whether `--quick` was passed. Binaries whose workload is not
+    /// derived from [`ExperimentConfig`] (e.g. `mna_table`, `fig11`) use
+    /// this to scale their own inputs down to smoke-run size.
+    pub quick: bool,
+    /// `--trace PATH`: run one additional traced simulation and write
+    /// chrome://tracing JSON there (see
+    /// [`BenchArgs::emit_trace_if_requested`]).
+    pub trace: Option<String>,
+    /// `--topology CxR`: shard topology-aware runs (the traced run and
+    /// the `interleave` sweep) over `C` channel shards of `R` ranks.
+    pub topology: Option<Topology>,
+    /// `--interleave P`: address striping policy for topology-aware runs.
+    pub interleave: Option<Interleave>,
+    /// `--csv DIR`: CSV output directory (consumed by `main_eval`).
+    pub csv: Option<String>,
+    /// Non-flag arguments in order (e.g. `tables`' table selector).
+    pub positional: Vec<String>,
 }
 
-/// Parses `--jobs N` out of an argument list. `Ok(None)` means the flag was
-/// absent (fall back to `LADDER_JOBS` / `available_parallelism()`).
-///
-/// # Errors
-///
-/// Returns a message when `--jobs` is missing its value or the value does
-/// not parse.
-pub fn parse_jobs(args: &[String]) -> Result<Option<usize>, String> {
-    let mut i = 0;
-    while i < args.len() {
-        if args[i] == "--jobs" {
-            return flag_value(args, i).map(Some);
-        }
-        i += 1;
+impl BenchArgs {
+    /// Parses the process command line; parse failures print [`USAGE`]
+    /// and exit with status 2.
+    pub fn parse() -> BenchArgs {
+        Self::parse_from(&cli_args()).unwrap_or_else(|e| usage_exit(&e))
     }
-    Ok(None)
+
+    /// Parses an argument list (defaults: 1 M instructions, seed 2021,
+    /// channel interleave, no topology).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending argument on an unknown
+    /// flag, a flag missing its value, or an unparsable value.
+    pub fn parse_from(argv: &[String]) -> Result<BenchArgs, String> {
+        let mut quick = false;
+        let mut instructions: Option<u64> = None;
+        let mut seed: Option<u64> = None;
+        let mut jobs = None;
+        let mut trace = None;
+        let mut topology = None;
+        let mut interleave = None;
+        let mut csv = None;
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--quick" => {
+                    quick = true;
+                    i += 1;
+                }
+                "--instructions" => {
+                    instructions = Some(flag_value(argv, i)?);
+                    i += 2;
+                }
+                "--seed" => {
+                    seed = Some(flag_value(argv, i)?);
+                    i += 2;
+                }
+                "--jobs" => {
+                    jobs = Some(flag_value(argv, i)?);
+                    i += 2;
+                }
+                "--trace" => {
+                    trace = Some(flag_value::<String>(argv, i)?);
+                    i += 2;
+                }
+                "--topology" => {
+                    topology = Some(flag_value(argv, i)?);
+                    i += 2;
+                }
+                "--interleave" => {
+                    interleave = Some(flag_value(argv, i)?);
+                    i += 2;
+                }
+                "--csv" => {
+                    csv = Some(flag_value::<String>(argv, i)?);
+                    i += 2;
+                }
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown argument `{other}`"))
+                }
+                other => {
+                    positional.push(other.to_string());
+                    i += 1;
+                }
+            }
+        }
+        let mut cfg = if quick {
+            ExperimentConfig::quick()
+        } else {
+            ExperimentConfig::default()
+        };
+        if let Some(n) = instructions {
+            cfg.instructions_per_core = n;
+        }
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        Ok(BenchArgs {
+            cfg,
+            jobs,
+            quick,
+            trace,
+            topology,
+            interleave,
+            csv,
+            positional,
+        })
+    }
+
+    /// Builds the experiment [`Runner`]: `--jobs N` wins, then the
+    /// `LADDER_JOBS` environment variable, then `available_parallelism()`.
+    /// Parallel execution is byte-identical to `--jobs 1` — results always
+    /// come back in submission order.
+    pub fn runner(&self) -> Runner {
+        match self.jobs {
+            Some(n) => Runner::with_jobs(n),
+            None => Runner::new(),
+        }
+    }
+
+    /// The topology to shard over, defaulting to `default` when
+    /// `--topology` was absent.
+    pub fn topology_or(&self, default: Topology) -> Topology {
+        self.topology.unwrap_or(default)
+    }
+
+    /// If `--trace PATH` was passed, runs one traced LADDER-Est simulation
+    /// of `astar` at `cfg`'s scale, writes chrome://tracing JSON to
+    /// `PATH`, and prints the per-phase time-attribution summary plus a
+    /// stats-reconciliation line to stderr. Does nothing when the flag is
+    /// absent. An unwritable path exits with status 1.
+    ///
+    /// With `--topology CxR` the traced run shards over the topology
+    /// instead: the chrome JSON holds shard 0's stream, and the summary
+    /// reports every shard plus the merged digest (bit-identical at any
+    /// `--jobs`).
+    ///
+    /// Every bench binary calls this after its main output, so any of them
+    /// can produce a trace without disturbing the figure pipeline (the
+    /// traced run is a separate, additional simulation).
+    pub fn emit_trace_if_requested(&self, cfg: &ExperimentConfig) {
+        let Some(path) = &self.trace else { return };
+        let tables = cfg.tables();
+        let builder = SimConfig::builder()
+            .scheme(Scheme::LadderEst)
+            .workload(Workload::Single("astar"))
+            .interleave(self.interleave.unwrap_or_default())
+            .trace(true);
+        if let Some(topology) = self.topology {
+            let run = run_sharded(
+                &builder.topology(topology).build(),
+                cfg,
+                &tables,
+                &self.runner(),
+            );
+            let Some(shard0) = run.shards.first().and_then(|r| r.trace.as_ref()) else {
+                eprintln!("error: traced sharded run returned no trace buffer");
+                std::process::exit(1);
+            };
+            write_or_die(path, ladder_trace::chrome_trace_json(shard0));
+            eprintln!(
+                "trace: LADDER-Est/astar topology {topology} -> {path} (shard 0 of {})",
+                run.shards.len()
+            );
+            eprint!("{}", run.summary());
+            return;
+        }
+        let r = run_sim(&builder.build(), cfg, &tables);
+        let Some(trace) = r.trace.as_ref() else {
+            // SimConfig.trace was set above, so this is unreachable in
+            // practice; fail loudly rather than panicking in library code.
+            eprintln!("error: traced run returned no trace buffer");
+            std::process::exit(1);
+        };
+        write_or_die(path, ladder_trace::chrome_trace_json(trace));
+        eprintln!(
+            "trace: LADDER-Est/astar -> {path} ({} records, {} dropped from ring, digest {})",
+            trace.records, trace.dropped, trace.digest
+        );
+        eprintln!(
+            "trace: reconciliation — pulses {}+{} vs writes {}+{}, reads {} vs {}, dispatches {} vs {}",
+            trace.totals.data_pulses,
+            trace.totals.metadata_pulses,
+            r.mem.data_writes,
+            r.mem.metadata_writes,
+            trace.totals.demand_reads + trace.totals.smb_reads + trace.totals.metadata_reads,
+            r.mem.demand_reads + r.mem.smb_reads + r.mem.metadata_reads,
+            trace.totals.dispatch_total(),
+            r.events.total()
+        );
+        eprint!("{}", ladder_trace::time_attribution(&trace.totals));
+    }
 }
 
-/// Parses `--trace PATH` out of an argument list. `Ok(None)` means the
-/// flag was absent (no trace requested).
-///
-/// # Errors
-///
-/// Returns a message when `--trace` is missing its value.
-pub fn parse_trace(args: &[String]) -> Result<Option<String>, String> {
-    let mut i = 0;
-    while i < args.len() {
-        if args[i] == "--trace" {
-            return flag_value(args, i).map(Some);
-        }
-        i += 1;
-    }
-    Ok(None)
-}
-
-/// The value following `args[i]`, parsed; errors name the flag instead of
+/// The value following `argv[i]`, parsed; errors name the flag instead of
 /// indexing out of bounds.
-fn flag_value<T: std::str::FromStr>(args: &[String], i: usize) -> Result<T, String> {
-    let flag = &args[i];
-    let raw = args
+fn flag_value<T: std::str::FromStr>(argv: &[String], i: usize) -> Result<T, String> {
+    let flag = &argv[i];
+    let raw = argv
         .get(i + 1)
         .ok_or_else(|| format!("`{flag}` is missing its value"))?;
     raw.parse()
@@ -126,102 +269,11 @@ fn usage_exit(err: &str) -> ! {
     std::process::exit(2)
 }
 
-/// Parses `--quick`, `--instructions N` and `--seed S` from the command
-/// line into an experiment configuration. Unknown flags and malformed or
-/// missing values print a usage message and exit with status 2.
-pub fn config_from_args() -> ExperimentConfig {
-    parse_config(&cli_args()).unwrap_or_else(|e| usage_exit(&e))
-}
-
-/// Whether `--quick` was passed on the command line. Binaries whose
-/// workload is not derived from [`ExperimentConfig`] (e.g. `mna_table`,
-/// `crash`) use this to scale their own inputs down to smoke-run size.
-pub fn quick_requested() -> bool {
-    std::env::args().any(|a| a == "--quick")
-}
-
-/// Builds the experiment [`Runner`] from the command line: `--jobs N`
-/// wins, then the `LADDER_JOBS` environment variable, then
-/// `available_parallelism()`. Parallel execution is byte-identical to
-/// `--jobs 1` — results always come back in submission order. A malformed
-/// or missing `--jobs` value prints a usage message and exits with
-/// status 2.
-pub fn runner_from_args() -> Runner {
-    match parse_jobs(&cli_args()) {
-        Ok(Some(n)) => Runner::with_jobs(n),
-        Ok(None) => Runner::new(),
-        Err(e) => usage_exit(&e),
-    }
-}
-
-/// Validates `--jobs N` on the command line for binaries that are
-/// single-simulation by construction (e.g. `mna_table`'s table generation,
-/// `crash`'s single crash-recovery run) and therefore accept the flag for
-/// interface uniformity without building a [`Runner`]. A malformed value
-/// still prints a usage message and exits with status 2; a valid value is
-/// accepted and ignored.
-pub fn accept_jobs_flag() {
-    if let Err(e) = parse_jobs(&cli_args()) {
-        usage_exit(&e);
-    }
-}
-
-/// If `--trace PATH` was passed on the command line, runs one traced
-/// LADDER-Est simulation of `astar` at the configuration's scale, writes
-/// chrome://tracing JSON to `PATH`, and prints the per-phase
-/// time-attribution summary plus a stats-reconciliation line to stderr.
-/// Does nothing when the flag is absent. A malformed `--trace` prints a
-/// usage message and exits with status 2; an unwritable path exits with
-/// status 1.
-///
-/// Every bench binary calls this after its main output, so any of them can
-/// produce a trace without disturbing the figure pipeline (the traced run
-/// is a separate, additional simulation).
-pub fn emit_trace_if_requested(cfg: &ExperimentConfig) {
-    let path = match parse_trace(&cli_args()) {
-        Ok(Some(p)) => p,
-        Ok(None) => return,
-        Err(e) => usage_exit(&e),
-    };
-    let tables = cfg.tables();
-    let opts = RunOptions {
-        trace: true,
-        ..RunOptions::default()
-    };
-    let r = run_one(
-        Scheme::LadderEst,
-        Workload::Single("astar"),
-        cfg,
-        &tables,
-        opts,
-    );
-    let Some(trace) = r.trace.as_ref() else {
-        // RunOptions.trace was set above, so this is unreachable in
-        // practice; fail loudly rather than panicking in library code.
-        eprintln!("error: traced run returned no trace buffer");
-        std::process::exit(1);
-    };
-    let json = ladder_trace::chrome_trace_json(trace);
-    if let Err(e) = std::fs::write(&path, json) {
+fn write_or_die(path: &str, json: String) {
+    if let Err(e) = std::fs::write(path, json) {
         eprintln!("error: cannot write trace to `{path}`: {e}");
         std::process::exit(1);
     }
-    eprintln!(
-        "trace: LADDER-Est/astar -> {path} ({} records, {} dropped from ring, digest {})",
-        trace.records, trace.dropped, trace.digest
-    );
-    eprintln!(
-        "trace: reconciliation — pulses {}+{} vs writes {}+{}, reads {} vs {}, dispatches {} vs {}",
-        trace.totals.data_pulses,
-        trace.totals.metadata_pulses,
-        r.mem.data_writes,
-        r.mem.metadata_writes,
-        trace.totals.demand_reads + trace.totals.smb_reads + trace.totals.metadata_reads,
-        r.mem.demand_reads + r.mem.smb_reads + r.mem.metadata_reads,
-        trace.totals.dispatch_total(),
-        r.events.total()
-    );
-    eprint!("{}", ladder_trace::time_attribution(&trace.totals));
 }
 
 /// Prints the runner's cumulative batch statistics to stderr (so figure
@@ -237,79 +289,112 @@ pub fn report_runner(runner: &Runner) {
 mod tests {
     use super::*;
 
-    fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| s.to_string()).collect()
+    fn parse(list: &[&str]) -> Result<BenchArgs, String> {
+        let argv: Vec<String> = list.iter().map(|s| s.to_string()).collect();
+        BenchArgs::parse_from(&argv)
     }
 
     #[test]
     fn defaults_without_flags() {
-        let cfg = parse_config(&[]).unwrap();
-        assert_eq!(cfg.instructions_per_core, 1_000_000);
-        assert_eq!(cfg.seed, 2021);
-        assert_eq!(parse_jobs(&[]).unwrap(), None);
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.cfg.instructions_per_core, 1_000_000);
+        assert_eq!(a.cfg.seed, 2021);
+        assert_eq!(a.jobs, None);
+        assert!(!a.quick);
+        assert_eq!(a.trace, None);
+        assert_eq!(a.topology, None);
+        assert_eq!(a.interleave, None);
+        assert_eq!(a.csv, None);
+        assert!(a.positional.is_empty());
     }
 
     #[test]
     fn quick_scales_down_but_instructions_override() {
-        let cfg = parse_config(&args(&["--quick"])).unwrap();
-        assert_eq!(cfg.instructions_per_core, 120_000);
-        let cfg = parse_config(&args(&["--quick", "--instructions", "777"])).unwrap();
-        assert_eq!(cfg.instructions_per_core, 777);
+        let a = parse(&["--quick"]).unwrap();
+        assert!(a.quick);
+        assert_eq!(a.cfg.instructions_per_core, 120_000);
+        let a = parse(&["--quick", "--instructions", "777"]).unwrap();
+        assert_eq!(a.cfg.instructions_per_core, 777);
     }
 
     #[test]
     fn all_flags_parse_together() {
-        let cfg = parse_config(&args(&[
+        let a = parse(&[
             "--seed",
             "7",
             "--jobs",
             "3",
             "--instructions",
             "42",
-        ]))
+            "--topology",
+            "4x2",
+            "--interleave",
+            "bank",
+            "--csv",
+            "/tmp/csv",
+            "--trace",
+            "/tmp/t.json",
+        ])
         .unwrap();
-        assert_eq!((cfg.seed, cfg.instructions_per_core), (7, 42));
-        assert_eq!(
-            parse_jobs(&args(&["--seed", "7", "--jobs", "3"])).unwrap(),
-            Some(3)
-        );
+        assert_eq!((a.cfg.seed, a.cfg.instructions_per_core), (7, 42));
+        assert_eq!(a.jobs, Some(3));
+        assert_eq!(a.topology, Some(Topology::new(4, 2).unwrap()));
+        assert_eq!(a.interleave, Some(Interleave::Bank));
+        assert_eq!(a.csv.as_deref(), Some("/tmp/csv"));
+        assert_eq!(a.trace.as_deref(), Some("/tmp/t.json"));
     }
 
     #[test]
-    fn trace_flag_parses_and_requires_value() {
-        assert_eq!(parse_trace(&[]).unwrap(), None);
-        assert_eq!(
-            parse_trace(&args(&["--quick", "--trace", "/tmp/t.json"])).unwrap(),
-            Some("/tmp/t.json".to_string())
-        );
-        // parse_config tolerates it like --jobs/--csv.
-        parse_config(&args(&["--trace", "/tmp/t.json"])).unwrap();
-        let err = parse_trace(&args(&["--trace"])).unwrap_err();
-        assert!(err.contains("missing its value"), "{err}");
+    fn positional_arguments_ride_along() {
+        let a = parse(&["table2", "--quick"]).unwrap();
+        assert_eq!(a.positional, vec!["table2".to_string()]);
+        assert!(a.quick);
+    }
+
+    #[test]
+    fn topology_and_interleave_reject_garbage() {
+        let err = parse(&["--topology", "4"]).unwrap_err();
+        assert!(err.contains("--topology") && err.contains('4'), "{err}");
+        let err = parse(&["--interleave", "diagonal"]).unwrap_err();
+        assert!(err.contains("--interleave"), "{err}");
     }
 
     #[test]
     fn unknown_flag_is_rejected() {
-        let err = parse_config(&args(&["--bogus"])).unwrap_err();
+        let err = parse(&["--bogus"]).unwrap_err();
         assert!(err.contains("--bogus"), "{err}");
     }
 
     #[test]
     fn trailing_flag_reports_missing_value() {
-        for trailing in ["--seed", "--instructions"] {
-            let err = parse_config(&args(&[trailing])).unwrap_err();
+        for trailing in [
+            "--seed",
+            "--instructions",
+            "--jobs",
+            "--trace",
+            "--topology",
+        ] {
+            let err = parse(&[trailing]).unwrap_err();
             assert!(err.contains("missing its value"), "{err}");
             assert!(err.contains(trailing), "{err}");
         }
-        let err = parse_jobs(&args(&["--jobs"])).unwrap_err();
-        assert!(err.contains("missing its value"), "{err}");
     }
 
     #[test]
     fn unparsable_value_names_flag_and_value() {
-        let err = parse_config(&args(&["--seed", "xyz"])).unwrap_err();
+        let err = parse(&["--seed", "xyz"]).unwrap_err();
         assert!(err.contains("--seed") && err.contains("xyz"), "{err}");
-        let err = parse_jobs(&args(&["--jobs", "-1"])).unwrap_err();
+        let err = parse(&["--jobs", "-1"]).unwrap_err();
         assert!(err.contains("--jobs"), "{err}");
+    }
+
+    #[test]
+    fn topology_or_prefers_the_flag() {
+        let dflt = Topology::new(4, 2).unwrap();
+        assert_eq!(parse(&[]).unwrap().topology_or(dflt), dflt);
+        assert_eq!(
+            parse(&["--topology", "8x1"]).unwrap().topology_or(dflt),
+            Topology::new(8, 1).unwrap()
+        );
     }
 }

@@ -1,9 +1,8 @@
 // path: crates/bench/src/bin/example.rs
 // expect: bench-flags
-use ladder_bench::{config_from_args, runner_from_args};
+use ladder_bench::BenchArgs;
 
 fn main() {
-    let _cfg = config_from_args();
-    let _runner = runner_from_args();
-    // --trace is not wired: no emit_trace_if_requested / parse_trace.
+    let _args = BenchArgs::parse();
+    // --trace is not wired: no emit_trace_if_requested call.
 }

@@ -1,0 +1,5 @@
+// path: crates/sim/src/runner.rs
+// expect: flat-options
+pub fn quick_config() -> SimConfig {
+    SimConfig { trace: true }
+}

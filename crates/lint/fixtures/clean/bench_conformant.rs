@@ -1,8 +1,8 @@
 // path: crates/bench/src/bin/example.rs
-use ladder_bench::{config_from_args, emit_trace_if_requested, runner_from_args};
+use ladder_bench::BenchArgs;
 
 fn main() {
-    let cfg = config_from_args();
-    let _runner = runner_from_args();
-    emit_trace_if_requested(&cfg);
+    let args = BenchArgs::parse();
+    let _runner = args.runner();
+    args.emit_trace_if_requested(&args.cfg);
 }

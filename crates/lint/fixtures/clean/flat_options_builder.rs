@@ -1,0 +1,8 @@
+// path: crates/sim/src/runner.rs
+pub fn quick_config() -> SimConfig {
+    SimConfig::builder().trace(true).build()
+}
+
+impl SimConfig {
+    fn helper() {}
+}

@@ -84,9 +84,16 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "bench-flags",
-        summary: "every ladder-bench binary must wire --quick, --jobs and \
-                  --trace through the shared helpers",
+        summary: "every ladder-bench binary must parse the shared CLI \
+                  (BenchArgs: --quick/--jobs/--topology) and wire --trace",
         scope: "crates/bench/src/bin",
+    },
+    RuleInfo {
+        name: "flat-options",
+        summary: "no struct-literal construction of SimConfig/RunOptions; \
+                  go through SimConfig::builder()",
+        scope: "everywhere except crates/sim/src/config.rs (the builder \
+                module); tests/ and test spans are exempt",
     },
 ];
 
@@ -129,6 +136,13 @@ const PANIC_EXEMPT: &[&str] = &["crates/proptest/", "crates/criterion/"];
 
 /// Where the bench-binary conformance rule applies.
 const BENCH_BIN_SCOPE: &str = "crates/bench/src/bin/";
+
+/// The builder module — the one place allowed to write the run-config
+/// struct literals that `flat-options` forbids everywhere else.
+const FLAT_OPTIONS_ALLOW: &[&str] = &["crates/sim/src/config.rs"];
+
+/// Run-config types that must be constructed through the builder.
+const FLAT_OPTIONS_TYPES: &[&str] = &["SimConfig", "RunOptions"];
 
 /// Path-derived context for one file.
 struct FileContext<'a> {
@@ -191,6 +205,7 @@ pub fn analyze(rel_path: &str, source: &str) -> Vec<Finding> {
     check_lossy_cast(&ctx, &lexed.tokens, &tests, &mergeable, &mut findings);
     check_panic_policy(&ctx, &lexed.tokens, &tests, &mut findings);
     check_bench_flags(&ctx, &lexed.tokens, &mut findings);
+    check_flat_options(&ctx, &lexed.tokens, &tests, &mut findings);
 
     let mut out: Vec<Finding> = findings
         .into_iter()
@@ -543,10 +558,11 @@ fn check_bench_flags(ctx: &FileContext<'_>, tokens: &[Token], findings: &mut Vec
             .iter()
             .any(|t| t.ident().is_some_and(|id| names.contains(&id)))
     };
-    let requirements: [(&str, &[&str]); 3] = [
-        ("--quick", &["config_from_args", "quick_requested"]),
-        ("--jobs", &["runner_from_args", "accept_jobs_flag"]),
-        ("--trace", &["emit_trace_if_requested", "parse_trace"]),
+    let requirements: [(&str, &[&str]); 4] = [
+        ("--quick", &["BenchArgs"]),
+        ("--jobs", &["BenchArgs"]),
+        ("--topology", &["BenchArgs"]),
+        ("--trace", &["emit_trace_if_requested"]),
     ];
     for (flag, helpers) in requirements {
         if !has(helpers) {
@@ -560,6 +576,46 @@ fn check_bench_flags(ctx: &FileContext<'_>, tokens: &[Token], findings: &mut Vec
                     helpers.join(" / ")
                 ),
             });
+        }
+    }
+}
+
+fn check_flat_options(
+    ctx: &FileContext<'_>,
+    tokens: &[Token],
+    tests: &[Span],
+    findings: &mut Vec<Finding>,
+) {
+    if FLAT_OPTIONS_ALLOW.contains(&ctx.path) || ctx.in_tests_dir {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if !FLAT_OPTIONS_TYPES.contains(&name)
+            || in_spans(tests, t.line)
+            || !tokens.get(i + 1).is_some_and(|t| t.is_punct('{'))
+        {
+            continue;
+        }
+        // `struct SimConfig {`, `impl SimConfig {`, `impl T for SimConfig {`
+        // and `-> SimConfig {` are declarations or return types, not
+        // literals.
+        let declares = i > 0
+            && (tokens[i - 1].is_punct('>')
+                || ["struct", "impl", "for", "enum"]
+                    .iter()
+                    .any(|kw| tokens[i - 1].is_ident(kw)));
+        if !declares {
+            push(
+                findings,
+                "flat-options",
+                ctx,
+                t,
+                format!(
+                    "`{name} {{ .. }}` struct literal bypasses the builder; \
+                     construct run configs with `SimConfig::builder()`"
+                ),
+            );
         }
     }
 }
@@ -658,14 +714,48 @@ mod tests {
     }
 
     #[test]
-    fn bench_flags_requires_all_three() {
-        let full = "use ladder_bench::{config_from_args, runner_from_args, emit_trace_if_requested};\nfn main() {}\n";
+    fn bench_flags_requires_the_shared_parser_and_trace() {
+        let full = "use ladder_bench::BenchArgs;\nfn main() { let args = BenchArgs::parse(); args.emit_trace_if_requested(&args.cfg); }\n";
         assert!(rules_fired("crates/bench/src/bin/x.rs", full).is_empty());
         let missing_trace =
-            "use ladder_bench::{config_from_args, accept_jobs_flag};\nfn main() {}\n";
+            "use ladder_bench::BenchArgs;\nfn main() { let _ = BenchArgs::parse(); }\n";
         let fired = analyze("crates/bench/src/bin/x.rs", missing_trace);
         assert_eq!(fired.len(), 1);
         assert!(fired[0].message.contains("--trace"), "{}", fired[0].message);
+        let no_parser = "fn main() { emit_trace_if_requested(); }\n";
+        let fired = analyze("crates/bench/src/bin/x.rs", no_parser);
+        assert_eq!(fired.len(), 3, "{fired:?}");
+        assert!(fired.iter().all(|f| f.message.contains("BenchArgs")));
+    }
+
+    #[test]
+    fn flat_options_forbids_literals_outside_the_builder_module() {
+        let literal = "pub fn f() -> SimConfig {\n    SimConfig { trace: true }\n}\n";
+        assert_eq!(
+            rules_fired("crates/sim/src/runner.rs", literal),
+            vec!["flat-options"]
+        );
+        assert_eq!(
+            rules_fired("crates/bench/src/lib.rs", literal),
+            vec!["flat-options"]
+        );
+        // The builder module itself and integration tests are exempt.
+        assert!(rules_fired("crates/sim/src/config.rs", literal).is_empty());
+        assert!(rules_fired("tests/golden_trace.rs", literal).is_empty());
+    }
+
+    #[test]
+    fn flat_options_skips_declarations_and_builder_calls() {
+        let decls = "pub struct SimConfig { pub trace: bool }\nimpl SimConfig {\n    fn f() {}\n}\nimpl Default for RunOptions {\n    fn default() -> Self { Self::new() }\n}\n";
+        assert!(rules_fired("crates/sim/src/runner.rs", decls).is_empty());
+        let builder =
+            "pub fn f() -> SimConfig {\n    SimConfig::builder().trace(true).build()\n}\n";
+        assert!(rules_fired("crates/sim/src/runner.rs", builder).is_empty());
+        let run_options = "fn g() {\n    let o = RunOptions { trace: true };\n}\n";
+        assert_eq!(
+            rules_fired("crates/memctrl/src/lib.rs", run_options),
+            vec!["flat-options"]
+        );
     }
 
     #[test]

@@ -25,9 +25,11 @@ mod geometry;
 mod store;
 mod time;
 mod timing;
+mod topology;
 
-pub use address::{AddressMap, Decoded, LineAddr, WlgId};
+pub use address::{AddressMap, Decoded, Interleave, LineAddr, WlgId};
 pub use geometry::{Geometry, LINES_PER_WLG, LINE_BYTES, PAGE_BYTES};
 pub use store::{line_ones, FaultMask, LineData, LineStore};
 pub use time::{EventQueue, Instant, Picos};
 pub use timing::DeviceTiming;
+pub use topology::Topology;

@@ -1,0 +1,145 @@
+//! Module topology for sharded multi-channel scale-out runs.
+//!
+//! A [`Topology`] describes how a large module is split into independent
+//! channel shards: `channels × ranks` means `channels` shards, each owning
+//! one channel of `ranks` ranks with its own memory controller and event
+//! stream. The per-shard [`Geometry`] keeps every other dimension of the
+//! base module, so one shard is exactly a one-channel slice of it.
+
+use crate::geometry::Geometry;
+use std::fmt;
+use std::str::FromStr;
+
+/// A sharded module topology: `channels × ranks`.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_reram::{Geometry, Topology};
+///
+/// let t: Topology = "4x2".parse().unwrap();
+/// assert_eq!(t.channels, 4);
+/// assert_eq!(t.shards(), 4);
+/// let g = t.shard_geometry(&Geometry::default());
+/// assert_eq!(g.channels, 1);
+/// assert_eq!(g.ranks_per_channel, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    /// Independent memory channels. Each channel becomes one shard with
+    /// its own controller and event stream.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks: usize,
+}
+
+impl Topology {
+    /// Builds a topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when either dimension is zero.
+    pub fn new(channels: usize, ranks: usize) -> Result<Self, String> {
+        if channels == 0 || ranks == 0 {
+            return Err(format!(
+                "topology dimensions must be nonzero, got {channels}x{ranks}"
+            ));
+        }
+        Ok(Topology { channels, ranks })
+    }
+
+    /// Parses the CLI form `CxR` (e.g. `4x2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (c, r) = s
+            .split_once(['x', 'X'])
+            .ok_or_else(|| format!("expected CxR (e.g. 4x2), got {s:?}"))?;
+        let channels: usize = c
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad channel count in topology {s:?}"))?;
+        let ranks: usize = r
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad rank count in topology {s:?}"))?;
+        Self::new(channels, ranks)
+    }
+
+    /// Number of shards a sharded run spawns (one per channel).
+    pub fn shards(&self) -> usize {
+        self.channels
+    }
+
+    /// The geometry of one shard: a one-channel slice of `base` with this
+    /// topology's rank count. Everything below the rank level (banks,
+    /// mats, rows, columns) is inherited from `base`.
+    pub fn shard_geometry(&self, base: &Geometry) -> Geometry {
+        Geometry {
+            channels: 1,
+            ranks_per_channel: self.ranks,
+            ..base.clone()
+        }
+    }
+
+    /// Total pages across all shards of this topology over `base`.
+    pub fn total_pages(&self, base: &Geometry) -> u64 {
+        self.shard_geometry(base).pages() as u64 * self.channels as u64
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.channels, self.ranks)
+    }
+}
+
+impl FromStr for Topology {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_cxr_and_rejects_garbage() {
+        assert_eq!(
+            Topology::parse("4x2").unwrap(),
+            Topology::new(4, 2).unwrap()
+        );
+        assert_eq!(Topology::parse("1X8").unwrap().ranks, 8);
+        assert!(Topology::parse("4").is_err());
+        assert!(Topology::parse("x2").is_err());
+        assert!(Topology::parse("4x").is_err());
+        assert!(Topology::parse("0x2").is_err());
+        assert!(Topology::parse("4xtwo").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let t = Topology::new(8, 1).unwrap();
+        assert_eq!(t.to_string().parse::<Topology>().unwrap(), t);
+    }
+
+    #[test]
+    fn shard_geometry_is_a_one_channel_slice() {
+        let base = Geometry::default();
+        let t = Topology::new(4, 2).unwrap();
+        let g = t.shard_geometry(&base);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.channels, 1);
+        assert_eq!(g.ranks_per_channel, 2);
+        assert_eq!(g.banks_per_rank, base.banks_per_rank);
+        assert_eq!(g.mat_rows, base.mat_rows);
+        // Four 1x2 shards hold exactly as much as the 2x2x2-bank default
+        // module scaled to four channels.
+        assert_eq!(t.total_pages(&base), 2 * base.pages() as u64);
+    }
+}

@@ -9,7 +9,8 @@
 //! Every sweep point is an independent simulation, so each study fans its
 //! runs out on the caller's [`Runner`].
 
-use crate::experiments::{run_one, ExperimentConfig, RunOptions, Workload};
+use crate::config::{run_sim, SimConfig};
+use crate::experiments::{ExperimentConfig, Workload};
 use crate::runner::Runner;
 use crate::scheme::Scheme;
 use crate::system::{RunResult, SystemBuilder};
@@ -53,7 +54,7 @@ fn run_with_ladder_cfg(
 ) -> RunResult {
     let mut b = SystemBuilder::with_tables(scheme, tables);
     for (core, bench) in workload.members().into_iter().enumerate() {
-        let (trace, mlp) = crate::experiments::trace_for_pub(bench, core, cfg);
+        let (trace, mlp) = crate::experiments::trace_for(bench, core, cfg);
         b.core(trace, mlp);
     }
     b.ladder_config(lcfg);
@@ -72,13 +73,7 @@ fn sweep_with_base<V: Copy + Sync>(
     let tables = cfg.tables();
     let (mut results, _) = runner.run_jobs(values.len() + 1, |i| {
         if i == 0 {
-            run_one(
-                Scheme::Baseline,
-                workload,
-                cfg,
-                &tables,
-                RunOptions::default(),
-            )
+            run_sim(&SimConfig::new(Scheme::Baseline, workload), cfg, &tables)
         } else {
             run_value(&tables, values[i - 1])
         }
@@ -212,20 +207,8 @@ pub fn table_granularity_sweep(
         let mut c = cfg.clone();
         c.table_cfg = tc;
         let tables = c.tables();
-        let base = run_one(
-            Scheme::Baseline,
-            workload,
-            &c,
-            &tables,
-            RunOptions::default(),
-        );
-        let r = run_one(
-            Scheme::LadderEst,
-            workload,
-            &c,
-            &tables,
-            RunOptions::default(),
-        );
+        let base = run_sim(&SimConfig::new(Scheme::Baseline, workload), &c, &tables);
+        let r = run_sim(&SimConfig::new(Scheme::LadderEst, workload), &c, &tables);
         let rom_bytes = tables.ladder.to_rom_bytes().len();
         (base, r, rom_bytes)
     });
@@ -255,7 +238,7 @@ pub fn drain_watermark_sweep(
         let scheme = schemes[i % schemes.len()];
         let mut b = SystemBuilder::with_tables(scheme, &tables);
         for (core, bench) in workload.members().into_iter().enumerate() {
-            let (trace, mlp) = crate::experiments::trace_for_pub(bench, core, cfg);
+            let (trace, mlp) = crate::experiments::trace_for(bench, core, cfg);
             b.core(trace, mlp);
         }
         b.mem_config(MemCtrlConfig {
@@ -282,31 +265,18 @@ pub fn vwl_comparison(
 ) -> Vec<AblationPoint> {
     let tables = cfg.tables();
     let (results, _) = runner.run_jobs(4, |i| match i {
-        0 => run_one(
-            Scheme::Baseline,
-            workload,
-            cfg,
-            &tables,
-            RunOptions::default(),
-        ),
+        0 => run_sim(&SimConfig::new(Scheme::Baseline, workload), cfg, &tables),
         // No wear-leveling.
-        1 => run_one(
-            Scheme::LadderEst,
-            workload,
-            cfg,
-            &tables,
-            RunOptions::default(),
-        ),
+        1 => run_sim(&SimConfig::new(Scheme::LadderEst, workload), cfg, &tables),
         // Segment-based VWL (the LADDER-friendly kind).
-        2 => run_one(
-            Scheme::LadderEst,
-            workload,
+        2 => run_sim(
+            &SimConfig::builder()
+                .scheme(Scheme::LadderEst)
+                .workload(workload)
+                .wear_leveling(true)
+                .build(),
             cfg,
             &tables,
-            RunOptions {
-                wear_leveling: true,
-                ..RunOptions::default()
-            },
         ),
         // Line-based start-gap over the data region.
         _ => {
@@ -314,7 +284,7 @@ pub fn vwl_comparison(
             let base_line = (Geometry::default().pages() as u64 / 16) * 64;
             let mut b = SystemBuilder::with_tables(Scheme::LadderEst, &tables);
             for (core, bench) in workload.members().into_iter().enumerate() {
-                let (trace, mlp) = crate::experiments::trace_for_pub(bench, core, cfg);
+                let (trace, mlp) = crate::experiments::trace_for(bench, core, cfg);
                 b.core(trace, mlp);
             }
             b.leveler(Box::new(StartGap::new(

@@ -1,0 +1,288 @@
+//! The topology-aware simulation configuration: [`SimConfig`] and its
+//! builder — the single front door for launching simulations.
+//!
+//! A [`SimConfig`] names the scheme and workload of a run plus everything
+//! that modifies it: an optional sharded [`Topology`], the address
+//! [`Interleave`] policy, wear/fault/tracing options. Monolithic runs
+//! (no topology) go through [`run_sim`]; sharded runs go through
+//! [`crate::shard::run_sharded`], which spawns one controller per channel
+//! and folds the shards deterministically.
+//!
+//! Construction goes through [`SimConfig::builder`] — the struct is
+//! `#[non_exhaustive]`, so new knobs can be added without breaking
+//! callers, and the `flat-options` lint keeps struct literals out of the
+//! rest of the workspace.
+
+use crate::experiments::{shard_trace_for, ExperimentConfig, Workload};
+use crate::scheme::Scheme;
+use crate::system::{RunResult, SystemBuilder};
+use ladder_faults::FaultConfig;
+use ladder_memctrl::Tables;
+use ladder_reram::{Geometry, Interleave, Topology};
+use ladder_wear::SegmentVwl;
+
+/// Full description of one simulation: scheme, workload, topology and
+/// every run-modifying option.
+///
+/// Build with [`SimConfig::builder`] (or [`SimConfig::new`] for a plain
+/// `(scheme, workload)` cell):
+///
+/// ```
+/// use ladder_sim::{Scheme, SimConfig};
+/// use ladder_sim::experiments::Workload;
+///
+/// let cfg = SimConfig::builder()
+///     .scheme(Scheme::LadderEst)
+///     .workload(Workload::Single("astar"))
+///     .topology("4x2".parse().unwrap())
+///     .trace(true)
+///     .build();
+/// assert_eq!(cfg.topology.unwrap().channels, 4);
+/// ```
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// The write scheme under test.
+    pub scheme: Scheme,
+    /// The workload driving the cores.
+    pub workload: Workload,
+    /// Sharded topology: `Some(CxR)` runs one controller per channel
+    /// ([`crate::shard::run_sharded`]); `None` is the paper's monolithic
+    /// single-controller configuration.
+    pub topology: Option<Topology>,
+    /// Address striping policy (default: the legacy channel-fastest
+    /// order).
+    pub interleave: Interleave,
+    /// Track per-write exact counters (Fig. 15).
+    pub track_exact: bool,
+    /// Track per-line wear (Section 6.4).
+    pub track_wear: bool,
+    /// Wrap addresses with segment-based vertical wear-leveling and
+    /// horizontal byte rotation (Section 6.4).
+    pub wear_leveling: bool,
+    /// Install the device fault model (stuck-at + transient write
+    /// failures, P&V retries, ECC/retire recovery).
+    pub faults: Option<FaultConfig>,
+    /// Capture a structured trace ([`RunResult::trace`]).
+    pub trace: bool,
+}
+
+impl SimConfig {
+    /// Starts a builder with the defaults: baseline scheme, `astar`
+    /// single workload, monolithic topology, channel interleave, no
+    /// tracking, no faults, no trace.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig {
+                scheme: Scheme::Baseline,
+                workload: Workload::Single("astar"),
+                topology: None,
+                interleave: Interleave::Channel,
+                track_exact: false,
+                track_wear: false,
+                wear_leveling: false,
+                faults: None,
+                trace: false,
+            },
+        }
+    }
+
+    /// A plain `(scheme, workload)` cell with every option at its
+    /// default — the common case of evaluation matrices.
+    pub fn new(scheme: Scheme, workload: Workload) -> Self {
+        Self::builder().scheme(scheme).workload(workload).build()
+    }
+
+    /// Number of independent simulations this config describes: the shard
+    /// count of its topology, or 1 for a monolithic run.
+    pub fn shards(&self) -> usize {
+        self.topology.map(|t| t.shards()).unwrap_or(1)
+    }
+}
+
+/// Builder for [`SimConfig`] — see [`SimConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the write scheme under test.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.cfg.scheme = scheme;
+        self
+    }
+
+    /// Sets the workload driving the cores.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.cfg.workload = workload;
+        self
+    }
+
+    /// Requests a sharded `channels × ranks` run (one controller and
+    /// event stream per channel).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.cfg.topology = Some(topology);
+        self
+    }
+
+    /// Sets the address striping policy.
+    pub fn interleave(mut self, interleave: Interleave) -> Self {
+        self.cfg.interleave = interleave;
+        self
+    }
+
+    /// Tracks per-write exact counters (Fig. 15).
+    pub fn track_exact(mut self, on: bool) -> Self {
+        self.cfg.track_exact = on;
+        self
+    }
+
+    /// Tracks per-line wear (Section 6.4).
+    pub fn track_wear(mut self, on: bool) -> Self {
+        self.cfg.track_wear = on;
+        self
+    }
+
+    /// Enables segment-based vertical wear-leveling plus horizontal byte
+    /// rotation (Section 6.4).
+    pub fn wear_leveling(mut self, on: bool) -> Self {
+        self.cfg.wear_leveling = on;
+        self
+    }
+
+    /// Installs the device fault model.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.cfg.faults = Some(faults);
+        self
+    }
+
+    /// Captures a structured trace ([`RunResult::trace`]).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.cfg.trace = on;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> SimConfig {
+        self.cfg
+    }
+}
+
+/// Assembles the [`SystemBuilder`] for one simulation of `cfg` over
+/// `geometry` — the shared setup of the monolithic and sharded paths.
+/// `shard` stamps a shard identity into the run (workload seeds and, when
+/// tracing, the trace record stream).
+pub(crate) fn builder_for(
+    cfg: &SimConfig,
+    ecfg: &ExperimentConfig,
+    tables: &Tables,
+    geometry: Geometry,
+    shard: Option<u32>,
+) -> SystemBuilder {
+    let mut b = SystemBuilder::with_tables(cfg.scheme, tables);
+    b.geometry(geometry.clone());
+    b.interleave(cfg.interleave);
+    if let Some(s) = shard {
+        b.shard(s);
+    }
+    for (core, bench) in cfg.workload.members().into_iter().enumerate() {
+        let (trace, mlp) = shard_trace_for(bench, core, ecfg, &geometry, shard);
+        b.core(trace, mlp);
+    }
+    b.track_exact(cfg.track_exact);
+    b.track_wear(cfg.track_wear);
+    if cfg.wear_leveling {
+        b.leveler(make_leveler(ecfg, &geometry));
+        b.horizontal_leveling(true);
+    }
+    if let Some(fcfg) = cfg.faults {
+        b.faults(fcfg);
+    }
+    b.tracing(cfg.trace);
+    b
+}
+
+/// Segment-based VWL over the data region of `geometry`: 16 MB segments
+/// (4096 pages), swapping every 100k writes.
+fn make_leveler(ecfg: &ExperimentConfig, geometry: &Geometry) -> Box<SegmentVwl> {
+    let total = geometry.pages() as u64;
+    let base = total / 16;
+    let pages_per_segment = 4096;
+    let segments = (total - base) / pages_per_segment;
+    Box::new(SegmentVwl::new(
+        base,
+        segments,
+        pages_per_segment,
+        100_000,
+        ecfg.seed,
+    ))
+}
+
+/// Runs one monolithic (single-controller) simulation described by `cfg`.
+///
+/// This is the topology-free entry point — the replacement for the old
+/// positional `run_one(scheme, workload, cfg, tables, opts)` call. Sharded
+/// configurations go through [`crate::shard::run_sharded`].
+///
+/// # Panics
+///
+/// Panics if `cfg.topology` is set: a sharded run produces one result per
+/// shard and must be launched through the sharded runner.
+pub fn run_sim(cfg: &SimConfig, ecfg: &ExperimentConfig, tables: &Tables) -> RunResult {
+    assert!(
+        cfg.topology.is_none(),
+        "run_sim is the monolithic path; run topology {} through shard::run_sharded",
+        // lint: allow(panic-policy) — entry-point contract: mixing the monolithic and sharded paths is a caller bug, documented under # Panics
+        cfg.topology.map(|t| t.to_string()).unwrap_or_default()
+    );
+    builder_for(cfg, ecfg, tables, Geometry::default(), None).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_the_monolithic_baseline() {
+        let cfg = SimConfig::builder().build();
+        assert_eq!(cfg.scheme, Scheme::Baseline);
+        assert_eq!(cfg.workload, Workload::Single("astar"));
+        assert!(cfg.topology.is_none());
+        assert_eq!(cfg.interleave, Interleave::Channel);
+        assert!(!cfg.track_exact && !cfg.track_wear && !cfg.wear_leveling);
+        assert!(cfg.faults.is_none() && !cfg.trace);
+        assert_eq!(cfg.shards(), 1);
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let cfg = SimConfig::builder()
+            .scheme(Scheme::LadderHybrid)
+            .workload(Workload::Mix("mix-1"))
+            .topology(Topology::new(4, 2).unwrap())
+            .interleave(Interleave::Page)
+            .track_exact(true)
+            .track_wear(true)
+            .wear_leveling(true)
+            .faults(FaultConfig::with_ber(7, 1e-5))
+            .trace(true)
+            .build();
+        assert_eq!(cfg.scheme, Scheme::LadderHybrid);
+        assert_eq!(cfg.shards(), 4);
+        assert_eq!(cfg.interleave, Interleave::Page);
+        assert!(cfg.track_exact && cfg.track_wear && cfg.wear_leveling && cfg.trace);
+        assert!(cfg.faults.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "monolithic path")]
+    fn run_sim_rejects_sharded_configs() {
+        let cfg = SimConfig::builder()
+            .topology(Topology::new(2, 2).unwrap())
+            .build();
+        let ecfg = ExperimentConfig::quick();
+        let tables = ecfg.tables();
+        let _ = run_sim(&cfg, &ecfg, &tables);
+    }
+}

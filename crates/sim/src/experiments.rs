@@ -5,14 +5,14 @@
 //! `ladder-bench` binaries call these functions and print the same rows and
 //! series the paper reports.
 
-use crate::runner::{AloneIpcCache, RunSpec, Runner, RunnerStats};
+use crate::config::{run_sim, SimConfig};
+use crate::runner::{AloneIpcCache, Runner, RunnerStats};
 use crate::scheme::Scheme;
 use crate::system::{RunResult, SystemBuilder};
 use ladder_cpu::TraceSource;
 use ladder_faults::{FaultConfig, FaultStats};
 use ladder_memctrl::{standard_tables, Tables};
 use ladder_reram::{Geometry, Instant};
-use ladder_wear::{SegmentVwl, WearLeveler};
 use ladder_workloads::{profile_of, WorkloadGen, MIXES, SINGLE_BENCHMARKS};
 use ladder_xbar::TableConfig;
 use std::sync::Arc;
@@ -106,41 +106,56 @@ impl Workload {
     }
 }
 
-/// Page window of one core: every scheme reserves less than 1/16 of the
-/// module for metadata, so data windows start at 1/16 of the page space and
-/// are identical across schemes (fair comparison).
-fn core_window(core: usize) -> (u64, u64) {
-    let total = Geometry::default().pages() as u64;
+/// Page window of one core within `geometry`: every scheme reserves less
+/// than 1/16 of the module for metadata, so data windows start at 1/16 of
+/// the page space and are identical across schemes (fair comparison).
+fn core_window(core: usize, geometry: &Geometry) -> (u64, u64) {
+    let total = geometry.pages() as u64;
     let base = total / 16;
     let per_core = (total - base) / 4;
     (base + core as u64 * per_core, per_core)
 }
 
-pub(crate) fn trace_for_pub(
+/// The workload trace and MLP of `bench` on core `core`: the generator
+/// every run assembles its cores from.
+pub fn trace_for(
     bench: &'static str,
     core: usize,
     cfg: &ExperimentConfig,
 ) -> (Box<dyn TraceSource>, usize) {
-    trace_for(bench, core, cfg)
+    shard_trace_for(bench, core, cfg, &Geometry::default(), None)
 }
 
-fn trace_for(
+/// [`trace_for`] over an explicit geometry and shard identity. Each shard
+/// of a sharded run salts the workload seed with its index, so shards
+/// simulate distinct (but per-shard deterministic) request streams over
+/// their own one-channel slice.
+pub(crate) fn shard_trace_for(
     bench: &'static str,
     core: usize,
     cfg: &ExperimentConfig,
+    geometry: &Geometry,
+    shard: Option<u32>,
 ) -> (Box<dyn TraceSource>, usize) {
     let profile = profile_of(bench);
     let mlp = profile.mlp;
-    let (base, limit) = core_window(core);
-    let seed = cfg
+    let (base, limit) = core_window(core, geometry);
+    let mut seed = cfg
         .seed
         .wrapping_mul(0x9e3779b97f4a7c15)
         .wrapping_add(core as u64 + 1);
+    if let Some(s) = shard {
+        seed = seed.wrapping_add(((s as u64) + 1).wrapping_mul(0x517cc1b727220a95));
+    }
     let gen = WorkloadGen::for_instructions(profile, seed, base, limit, cfg.instructions_per_core);
     (Box::new(gen), mlp)
 }
 
 /// Options modifying a run beyond the scheme choice.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a ladder_sim::SimConfig with SimConfig::builder() instead"
+)]
 #[derive(Debug, Default, Clone, Copy)]
 pub struct RunOptions {
     /// Track per-write exact counters (Fig. 15).
@@ -157,7 +172,30 @@ pub struct RunOptions {
     pub trace: bool,
 }
 
+#[allow(deprecated)]
+impl RunOptions {
+    /// Converts these flat options into the [`SimConfig`] they describe.
+    pub(crate) fn into_config(self, scheme: Scheme, workload: Workload) -> SimConfig {
+        let mut b = SimConfig::builder()
+            .scheme(scheme)
+            .workload(workload)
+            .track_exact(self.track_exact)
+            .track_wear(self.track_wear)
+            .wear_leveling(self.wear_leveling)
+            .trace(self.trace);
+        if let Some(f) = self.faults {
+            b = b.faults(f);
+        }
+        b.build()
+    }
+}
+
 /// Runs one `(scheme, workload)` cell of the evaluation matrix.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ladder_sim::run_sim with a SimConfig built by SimConfig::builder()"
+)]
+#[allow(deprecated)]
 pub fn run_one(
     scheme: Scheme,
     workload: Workload,
@@ -165,38 +203,7 @@ pub fn run_one(
     tables: &Tables,
     opts: RunOptions,
 ) -> RunResult {
-    let mut b = SystemBuilder::with_tables(scheme, tables);
-    for (core, bench) in workload.members().into_iter().enumerate() {
-        let (trace, mlp) = trace_for(bench, core, cfg);
-        b.core(trace, mlp);
-    }
-    b.track_exact(opts.track_exact);
-    b.track_wear(opts.track_wear);
-    if opts.wear_leveling {
-        b.leveler(make_leveler(cfg));
-        b.horizontal_leveling(true);
-    }
-    if let Some(fcfg) = opts.faults {
-        b.faults(fcfg);
-    }
-    b.tracing(opts.trace);
-    b.run()
-}
-
-fn make_leveler(cfg: &ExperimentConfig) -> Box<dyn WearLeveler> {
-    // Segment-based VWL over the whole data region: 16 MB segments
-    // (4096 pages), swapping every 100k writes.
-    let total = Geometry::default().pages() as u64;
-    let base = total / 16;
-    let pages_per_segment = 4096;
-    let segments = (total - base) / pages_per_segment;
-    Box::new(SegmentVwl::new(
-        base,
-        segments,
-        pages_per_segment,
-        100_000,
-        cfg.seed,
-    ))
+    run_sim(&opts.into_config(scheme, workload), cfg, tables)
 }
 
 // ---------------------------------------------------------------------------
@@ -219,15 +226,15 @@ pub struct Fig2Row {
 pub fn fig2(cfg: &ExperimentConfig, runner: &Runner) -> Vec<Fig2Row> {
     const SCHEMES: [Scheme; 3] = [Scheme::Baseline, Scheme::LocationAware, Scheme::Oracle];
     let tables = Arc::new(cfg.tables());
-    let specs: Vec<RunSpec> = SINGLE_BENCHMARKS
+    let configs: Vec<SimConfig> = SINGLE_BENCHMARKS
         .iter()
         .flat_map(|&bench| {
             SCHEMES
                 .iter()
-                .map(move |&s| RunSpec::new(s, Workload::Single(bench)))
+                .map(move |&s| SimConfig::new(s, Workload::Single(bench)))
         })
         .collect();
-    let (results, _) = runner.run_specs(cfg, &tables, &specs);
+    let (results, _) = runner.run_configs(cfg, &tables, &configs);
     SINGLE_BENCHMARKS
         .iter()
         .zip(results.chunks_exact(SCHEMES.len()))
@@ -354,10 +361,10 @@ impl<'a> MainEvalBuilder<'a> {
         let tables = Arc::new(cfg.tables());
 
         // The matrix itself, row-major (workload-major, scheme-minor).
-        let mut specs: Vec<RunSpec> = Vec::with_capacity(workloads.len() * ns + 2);
+        let mut specs: Vec<SimConfig> = Vec::with_capacity(workloads.len() * ns + 2);
         for &w in &workloads {
             for &s in &schemes {
-                specs.push(RunSpec::new(s, w));
+                specs.push(SimConfig::new(s, w));
             }
         }
         // Alone-run baselines the matrix does not already produce: mix
@@ -382,10 +389,10 @@ impl<'a> MainEvalBuilder<'a> {
         specs.extend(
             extra
                 .iter()
-                .map(|&b| RunSpec::new(Scheme::Baseline, Workload::Single(b))),
+                .map(|&b| SimConfig::new(Scheme::Baseline, Workload::Single(b))),
         );
 
-        let (mut results, stats) = runner.run_specs(cfg, &tables, &specs);
+        let (mut results, stats) = runner.run_configs(cfg, &tables, &specs);
 
         // Populate the alone-run cache: extras from the batch tail, singles
         // from the matrix's baseline column.
@@ -725,7 +732,7 @@ fn fig15_cell(cfg: &ExperimentConfig, tables: &Tables, w: Workload, shifting: bo
     let mut mc = MemoryController::new(MemCtrlConfig::default(), map, policy);
     let mut now = Instant::ZERO;
     for (core, bench) in w.members().into_iter().enumerate() {
-        let (base, _) = core_window(core);
+        let (base, _) = core_window(core, &Geometry::default());
         let seed = cfg
             .seed
             .wrapping_mul(0x9e3779b97f4a7c15)
@@ -782,17 +789,17 @@ pub fn lifetime(cfg: &ExperimentConfig, workload: Workload, runner: &Runner) -> 
         Scheme::LadderEst,
         Scheme::LadderHybrid,
     ];
-    let wl_opts = RunOptions {
-        track_wear: true,
-        wear_leveling: true,
-        ..RunOptions::default()
+    let leveled = |s: Scheme| {
+        SimConfig::builder()
+            .scheme(s)
+            .workload(workload)
+            .track_wear(true)
+            .wear_leveling(true)
+            .build()
     };
-    let mut specs: Vec<RunSpec> = schemes
-        .iter()
-        .map(|&s| RunSpec::with_options(s, workload, wl_opts))
-        .collect();
-    specs.extend(schemes.iter().map(|&s| RunSpec::new(s, workload)));
-    let (mut results, _) = runner.run_specs(cfg, &tables, &specs);
+    let mut specs: Vec<SimConfig> = schemes.iter().map(|&s| leveled(s)).collect();
+    specs.extend(schemes.iter().map(|&s| SimConfig::new(s, workload)));
+    let (mut results, _) = runner.run_configs(cfg, &tables, &specs);
     let without_wl = results.split_off(schemes.len());
     let with_wl = results;
     let base_writes = total_writes(&with_wl[0]);
@@ -860,25 +867,20 @@ pub fn error_rate_sweep(
 ) -> Vec<FaultSweepRow> {
     let tables = Arc::new(cfg.tables());
     let schemes = [Scheme::Baseline, Scheme::LadderEst, Scheme::LadderHybrid];
-    let wear_opts = RunOptions {
-        track_wear: true,
-        ..RunOptions::default()
+    let worn = |s: Scheme| {
+        SimConfig::builder()
+            .scheme(s)
+            .workload(workload)
+            .track_wear(true)
     };
     // Fault-free controls first, then one run per (BER, scheme).
-    let mut specs: Vec<RunSpec> = schemes
-        .iter()
-        .map(|&s| RunSpec::with_options(s, workload, wear_opts))
-        .collect();
+    let mut specs: Vec<SimConfig> = schemes.iter().map(|&s| worn(s).build()).collect();
     for &ber in bers {
         for &s in &schemes {
-            let opts = RunOptions {
-                faults: Some(FaultConfig::with_ber(cfg.seed, ber)),
-                ..wear_opts
-            };
-            specs.push(RunSpec::with_options(s, workload, opts));
+            specs.push(worn(s).faults(FaultConfig::with_ber(cfg.seed, ber)).build());
         }
     }
-    let (results, _) = runner.run_specs(cfg, &tables, &specs);
+    let (results, _) = runner.run_configs(cfg, &tables, &specs);
     let endurance = FaultConfig::with_ber(cfg.seed, 0.0).endurance;
     let lifetime_of = |r: &RunResult| {
         r.wear
@@ -939,13 +941,7 @@ pub fn variability(
     let schemes = [Scheme::Baseline, Scheme::LadderHybrid];
     // Four independent runs: (full, shrunk) × (baseline, hybrid).
     let (runs, _) = runner.run_jobs(4, |i| {
-        run_one(
-            schemes[i % 2],
-            workload,
-            cfg,
-            sets[i / 2],
-            RunOptions::default(),
-        )
+        run_sim(&SimConfig::new(schemes[i % 2], workload), cfg, sets[i / 2])
     });
     let full = runs[1].ipc0() / runs[0].ipc0();
     let small = runs[3].ipc0() / runs[2].ipc0();
@@ -983,13 +979,35 @@ mod tests {
 
     #[test]
     fn core_windows_are_disjoint_and_above_metadata() {
-        let mut prev_end = Geometry::default().pages() as u64 / 16;
+        let g = Geometry::default();
+        let mut prev_end = g.pages() as u64 / 16;
         for c in 0..4 {
-            let (base, len) = core_window(c);
+            let (base, len) = core_window(c, &g);
             assert!(base >= prev_end);
             prev_end = base + len;
         }
-        assert!(prev_end <= Geometry::default().pages() as u64);
+        assert!(prev_end <= g.pages() as u64);
+    }
+
+    #[test]
+    fn shard_seed_salt_changes_the_request_stream() {
+        let cfg = tiny_cfg();
+        let g = Geometry::default();
+        let (mut plain, _) = shard_trace_for("astar", 0, &cfg, &g, None);
+        let (mut s0, _) = shard_trace_for("astar", 0, &cfg, &g, Some(0));
+        let (mut s1, _) = shard_trace_for("astar", 0, &cfg, &g, Some(1));
+        let sig = |t: &mut Box<dyn TraceSource>| -> Vec<u64> {
+            (0..32)
+                .map_while(|_| t.next_event())
+                .map(|e| match e.op {
+                    ladder_cpu::TraceOp::Read { addr, .. } => addr.0,
+                    ladder_cpu::TraceOp::Write { addr, .. } => addr.0,
+                })
+                .collect()
+        };
+        let (p, a, b) = (sig(&mut plain), sig(&mut s0), sig(&mut s1));
+        assert_ne!(p, a, "shard 0 must not replay the monolithic stream");
+        assert_ne!(a, b, "distinct shards must see distinct streams");
     }
 
     #[test]
@@ -997,15 +1015,9 @@ mod tests {
         let cfg = tiny_cfg();
         let tables = cfg.tables();
         let w = Workload::Single("astar");
-        let base = run_one(Scheme::Baseline, w, &cfg, &tables, RunOptions::default());
-        let hybrid = run_one(
-            Scheme::LadderHybrid,
-            w,
-            &cfg,
-            &tables,
-            RunOptions::default(),
-        );
-        let oracle = run_one(Scheme::Oracle, w, &cfg, &tables, RunOptions::default());
+        let base = run_sim(&SimConfig::new(Scheme::Baseline, w), &cfg, &tables);
+        let hybrid = run_sim(&SimConfig::new(Scheme::LadderHybrid, w), &cfg, &tables);
+        let oracle = run_sim(&SimConfig::new(Scheme::Oracle, w), &cfg, &tables);
         // Oracle ≤ Hybrid < baseline on write service time.
         assert!(oracle.avg_write_service() <= hybrid.avg_write_service());
         assert!(hybrid.avg_write_service() < base.avg_write_service());
@@ -1102,7 +1114,7 @@ pub fn crash_recovery(cfg: &ExperimentConfig, bench: &'static str) -> CrashRecov
         map.clone(),
     ));
     let mut mc = MemoryController::new(MemCtrlConfig::default(), map, policy);
-    let (base, _) = core_window(0);
+    let (base, _) = core_window(0, &Geometry::default());
     // A compact, heavily revisited window so post-crash rewrites actually
     // re-tighten the same pages being measured.
     let mut gen = WorkloadGen::new(profile_of(bench), cfg.seed, base, 384, 800_000);
@@ -1188,19 +1200,11 @@ pub fn hot_remap_extension(
         .take(4096)
         .collect();
     let (runs, _) = runner.run_jobs(3, |i| match i {
-        0 => run_one(
-            Scheme::Baseline,
-            workload,
+        0 => run_sim(&SimConfig::new(Scheme::Baseline, workload), cfg, &tables),
+        1 => run_sim(
+            &SimConfig::new(Scheme::LadderHybrid, workload),
             cfg,
             &tables,
-            RunOptions::default(),
-        ),
-        1 => run_one(
-            Scheme::LadderHybrid,
-            workload,
-            cfg,
-            &tables,
-            RunOptions::default(),
         ),
         _ => {
             let mut b = SystemBuilder::with_tables(Scheme::LadderHybrid, &tables);

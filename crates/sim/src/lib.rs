@@ -6,15 +6,30 @@
 //! (`ladder-workloads`), energy (`ladder-energy`) and wear (`ladder-wear`)
 //! — into runnable systems, and exposes one function per paper table or
 //! figure in [`experiments`].
+//!
+//! The front door is the topology-aware [`SimConfig`] builder: a
+//! monolithic (single-controller) config runs through [`run_sim`], and a
+//! sharded `channels × ranks` [`Topology`] runs through [`run_sharded`],
+//! which folds the per-channel shards bit-reproducibly at any `--jobs`.
 
 pub mod ablations;
+pub mod config;
 pub mod experiments;
 pub mod overhead;
 pub mod runner;
 mod scheme;
+pub mod shard;
 mod system;
 pub mod wallclock;
 
-pub use runner::{default_jobs, AloneIpcCache, RunSpec, Runner, RunnerStats};
+pub use config::{run_sim, SimConfig, SimConfigBuilder};
+#[allow(deprecated)]
+pub use runner::RunSpec;
+pub use runner::{default_jobs, AloneIpcCache, Runner, RunnerStats};
 pub use scheme::Scheme;
+pub use shard::{run_sharded, ShardedRun};
 pub use system::{CoreResult, EventCounts, RunResult, SystemBuilder};
+
+// Re-exported so bench binaries can parse and build topologies without
+// depending on ladder-reram directly.
+pub use ladder_reram::{Interleave, Topology};

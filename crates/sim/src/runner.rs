@@ -3,25 +3,25 @@
 //! Every experiment in this crate is a matrix of fully independent,
 //! deterministic simulations — the paper runs them as separate gem5
 //! instances, and nothing here shares mutable state between cells. The
-//! [`Runner`] exploits that: it takes a list of [`RunSpec`] jobs, fans
+//! [`Runner`] exploits that: it takes a list of [`SimConfig`] jobs, fans
 //! them out over `jobs` worker threads with an atomic work-stealing
 //! cursor, and returns results **in submission order**, so the output of
 //! a parallel run is byte-identical to the sequential path.
 //!
 //! ```no_run
 //! use ladder_sim::experiments::ExperimentConfig;
-//! use ladder_sim::{RunSpec, Runner, Scheme};
+//! use ladder_sim::{Runner, Scheme, SimConfig};
 //! use ladder_sim::experiments::Workload;
 //! use std::sync::Arc;
 //!
 //! let cfg = ExperimentConfig::quick();
 //! let tables = Arc::new(cfg.tables());
 //! let runner = Runner::new();
-//! let specs = vec![
-//!     RunSpec::new(Scheme::Baseline, Workload::Single("astar")),
-//!     RunSpec::new(Scheme::LadderHybrid, Workload::Single("astar")),
+//! let configs = vec![
+//!     SimConfig::new(Scheme::Baseline, Workload::Single("astar")),
+//!     SimConfig::new(Scheme::LadderHybrid, Workload::Single("astar")),
 //! ];
-//! let (results, stats) = runner.run_specs(&cfg, &tables, &specs);
+//! let (results, stats) = runner.run_configs(&cfg, &tables, &configs);
 //! assert_eq!(results.len(), 2);
 //! eprintln!("{}", stats.summary());
 //! ```
@@ -34,12 +34,20 @@ use std::time::Duration;
 use ladder_memctrl::Tables;
 use ladder_reram::Picos;
 
-use crate::experiments::{run_one, ExperimentConfig, RunOptions, Workload};
+use crate::config::{run_sim, SimConfig};
+#[allow(deprecated)]
+use crate::experiments::RunOptions;
+use crate::experiments::{ExperimentConfig, Workload};
 use crate::scheme::Scheme;
 use crate::system::{EventCounts, RunResult};
 
 /// One cell of an evaluation matrix: a scheme, a workload, and the run
 /// options. Fully describes an independent simulation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a ladder_sim::SimConfig with SimConfig::builder() instead"
+)]
+#[allow(deprecated)]
 #[derive(Debug, Clone, Copy)]
 pub struct RunSpec {
     /// The write scheme under test.
@@ -50,6 +58,7 @@ pub struct RunSpec {
     pub options: RunOptions,
 }
 
+#[allow(deprecated)]
 impl RunSpec {
     /// A spec with default [`RunOptions`].
     pub fn new(scheme: Scheme, workload: Workload) -> Self {
@@ -68,6 +77,11 @@ impl RunSpec {
             options,
         }
     }
+
+    /// The [`SimConfig`] this spec describes.
+    fn into_config(self) -> SimConfig {
+        self.options.into_config(self.scheme, self.workload)
+    }
 }
 
 /// Timing observability for one batch of jobs.
@@ -84,7 +98,7 @@ pub struct RunnerStats {
     /// Per-job wall-clock times, in submission order.
     pub job_times: Vec<Duration>,
     /// Event-kernel dispatch counters aggregated over the batch's
-    /// simulations (populated by [`Runner::run_specs`]; generic
+    /// simulations (populated by [`Runner::run_configs`]; generic
     /// [`Runner::run_jobs`] batches cannot see into their jobs and leave
     /// this zero).
     pub events: EventCounts,
@@ -298,22 +312,23 @@ impl Runner {
             .clone()
     }
 
-    /// Runs a batch of [`RunSpec`] simulation jobs against one shared
+    /// Runs a batch of [`SimConfig`] simulation jobs against one shared
     /// [`Tables`] bundle, returning results in submission order.
     ///
-    /// Besides timings, the returned stats carry the batch's aggregate
-    /// event-kernel dispatch counters and total simulated time, so
-    /// events-per-sim-second is reported alongside wall-clock speedup.
-    pub fn run_specs(
+    /// Each config must be monolithic (no topology) — sharded configs go
+    /// through [`crate::shard::run_sharded`], which itself fans its shards
+    /// out on a `Runner`. Besides timings, the returned stats carry the
+    /// batch's aggregate event-kernel dispatch counters and total
+    /// simulated time, so events-per-sim-second is reported alongside
+    /// wall-clock speedup.
+    pub fn run_configs(
         &self,
         cfg: &ExperimentConfig,
         tables: &Arc<Tables>,
-        specs: &[RunSpec],
+        configs: &[SimConfig],
     ) -> (Vec<RunResult>, RunnerStats) {
-        let (results, mut stats) = self.run_jobs(specs.len(), |i| {
-            let spec = specs[i];
-            run_one(spec.scheme, spec.workload, cfg, tables, spec.options)
-        });
+        let (results, mut stats) =
+            self.run_jobs(configs.len(), |i| run_sim(&configs[i], cfg, tables));
         for r in &results {
             stats.events.merge(&r.events);
             stats.sim_time += Picos::from_ps(r.end.as_ps());
@@ -324,6 +339,23 @@ impl Runner {
             acc.sim_time += stats.sim_time;
         }
         (results, stats)
+    }
+
+    /// Runs a batch of [`RunSpec`] simulation jobs — the deprecated
+    /// spelling of [`Runner::run_configs`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Runner::run_configs with SimConfig values"
+    )]
+    #[allow(deprecated)]
+    pub fn run_specs(
+        &self,
+        cfg: &ExperimentConfig,
+        tables: &Arc<Tables>,
+        specs: &[RunSpec],
+    ) -> (Vec<RunResult>, RunnerStats) {
+        let configs: Vec<SimConfig> = specs.iter().map(|s| s.into_config()).collect();
+        self.run_configs(cfg, tables, &configs)
     }
 }
 
@@ -416,11 +448,11 @@ impl AloneIpcCache {
         if missing.is_empty() {
             return None;
         }
-        let specs: Vec<RunSpec> = missing
+        let configs: Vec<SimConfig> = missing
             .iter()
-            .map(|&b| RunSpec::new(Scheme::Baseline, Workload::Single(b)))
+            .map(|&b| SimConfig::new(Scheme::Baseline, Workload::Single(b)))
             .collect();
-        let (results, stats) = runner.run_specs(cfg, tables, &specs);
+        let (results, stats) = runner.run_configs(cfg, tables, &configs);
         for (&b, r) in missing.iter().zip(&results) {
             self.insert(b, r.ipc0());
         }

@@ -1,0 +1,253 @@
+//! The sharded multi-channel runner: one controller and event stream per
+//! channel, folded bit-reproducibly.
+//!
+//! A topology `C x R` splits the module into `C` shards, each a
+//! one-channel slice ([`Topology::shard_geometry`]) driven by its own
+//! [`crate::system::SystemBuilder`]-built event kernel with a
+//! shard-salted workload stream. Shards are fully independent
+//! simulations, so they fan out on the work-stealing [`Runner`] — and
+//! because the runner returns results in submission order, every merged
+//! statistic and the merged golden-trace digest are bit-identical at any
+//! `--jobs`.
+
+use crate::config::{builder_for, SimConfig};
+use crate::experiments::ExperimentConfig;
+use crate::runner::{Runner, RunnerStats};
+use crate::system::{EventCounts, RunResult};
+use ladder_energy::EnergyBreakdown;
+use ladder_faults::FaultStats;
+use ladder_memctrl::{LatencyHistogram, MemStats, Tables};
+use ladder_reram::{Geometry, Instant, Interleave, Topology};
+use ladder_trace::{merge_digests, Mergeable, TraceDigest};
+
+/// Outcome of one sharded run: the per-shard results plus every
+/// cross-shard fold a figure or gate consumes.
+#[derive(Debug)]
+pub struct ShardedRun {
+    /// The topology that was simulated.
+    pub topology: Topology,
+    /// The address striping policy the shards decoded with.
+    pub interleave: Interleave,
+    /// Per-shard results, in shard-index (= channel) order.
+    pub shards: Vec<RunResult>,
+    /// Memory-controller statistics folded over all shards.
+    pub mem: MemStats,
+    /// Event-kernel dispatch counters folded over all shards.
+    pub events: EventCounts,
+    /// Dynamic energy summed over all shards.
+    pub energy: EnergyBreakdown,
+    /// Final simulated time: the slowest shard's end.
+    pub end: Instant,
+    /// Demand-read latency distribution folded over all shards.
+    pub read_histogram: LatencyHistogram,
+    /// Fault-model counters folded over all shards, when fault injection
+    /// was requested.
+    pub faults: Option<FaultStats>,
+    /// Merged golden-trace digest (shard digests folded in shard order),
+    /// when tracing was requested and every shard produced a trace.
+    pub digest: Option<TraceDigest>,
+    /// Total trace records across shards.
+    pub records: u64,
+    /// Timing observability for the shard batch.
+    pub stats: RunnerStats,
+}
+
+impl ShardedRun {
+    /// Instructions retired summed over every core of every shard.
+    pub fn retired(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|r| r.cores.iter())
+            .map(|c| c.retired)
+            .sum()
+    }
+
+    /// Renders a human-readable report of the merged run.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "topology {} ({} interleave), {} shards",
+            self.topology,
+            self.interleave,
+            self.shards.len()
+        );
+        for (i, r) in self.shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  shard {i}: {} retired, {} writes, {} reads, end {:.1} us",
+                r.cores.iter().map(|c| c.retired).sum::<u64>(),
+                r.mem.data_writes,
+                r.mem.demand_reads,
+                r.end.as_ps() as f64 / 1e6
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  merged: {} writes, {} reads, {:.1} nJ, end {:.1} us, {} kernel events",
+            self.mem.data_writes,
+            self.mem.demand_reads,
+            self.energy.total_pj() / 1000.0,
+            self.end.as_ps() as f64 / 1e6,
+            self.events.total()
+        );
+        if let Some(d) = self.digest {
+            let _ = writeln!(out, "  merged trace digest: {d} ({} records)", self.records);
+        }
+        out
+    }
+}
+
+/// Runs the sharded topology described by `cfg`: one independent
+/// event-kernel simulation per channel, fanned out on `runner` and folded
+/// in shard order.
+///
+/// # Panics
+///
+/// Panics if `cfg.topology` is `None`: a monolithic config belongs to
+/// [`crate::config::run_sim`].
+pub fn run_sharded(
+    cfg: &SimConfig,
+    ecfg: &ExperimentConfig,
+    tables: &Tables,
+    runner: &Runner,
+) -> ShardedRun {
+    let topology = cfg
+        .topology
+        // lint: allow(panic-policy) — entry-point contract: mixing the monolithic and sharded paths is a caller bug, documented under # Panics
+        .expect("run_sharded requires a topology; monolithic configs go through run_sim");
+    let shard_geometry = topology.shard_geometry(&Geometry::default());
+    let (shards, stats) = runner.run_jobs(topology.shards(), |s| {
+        builder_for(cfg, ecfg, tables, shard_geometry.clone(), Some(s as u32)).run()
+    });
+
+    let mut mem = MemStats::default();
+    let mut events = EventCounts::default();
+    let mut energy = EnergyBreakdown::default();
+    let mut end = Instant::ZERO;
+    let mut read_histogram = LatencyHistogram::default();
+    let mut faults: Option<FaultStats> = None;
+    let mut records = 0;
+    let mut shard_digests = Vec::with_capacity(shards.len());
+    for r in &shards {
+        mem.merge_from(&r.mem);
+        events.merge_from(&r.events);
+        energy.read_pj += r.energy.read_pj;
+        energy.write_pj += r.energy.write_pj;
+        end = end.max(r.end);
+        read_histogram.merge_from(&r.read_histogram);
+        if let Some(f) = &r.faults {
+            faults.get_or_insert_with(FaultStats::default).merge(f);
+        }
+        if let Some(t) = &r.trace {
+            records += t.records;
+            shard_digests.push(t.digest);
+        }
+    }
+    // All shards share one tracing flag, so a partial digest set can only
+    // mean a logic error; fold only when complete.
+    let digest =
+        (cfg.trace && shard_digests.len() == shards.len()).then(|| merge_digests(shard_digests));
+
+    ShardedRun {
+        topology,
+        interleave: cfg.interleave,
+        shards,
+        mem,
+        events,
+        energy,
+        end,
+        read_histogram,
+        faults,
+        digest,
+        records,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Workload;
+    use crate::scheme::Scheme;
+
+    fn sharded_cfg(channels: usize) -> SimConfig {
+        SimConfig::builder()
+            .scheme(Scheme::LadderEst)
+            .workload(Workload::Single("astar"))
+            .topology(Topology::new(channels, 2).expect("valid topology"))
+            .trace(true)
+            .build()
+    }
+
+    fn tiny_ecfg() -> ExperimentConfig {
+        ExperimentConfig {
+            instructions_per_core: 15_000,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a topology")]
+    fn run_sharded_rejects_monolithic_configs() {
+        let ecfg = tiny_ecfg();
+        let tables = ecfg.tables();
+        run_sharded(
+            &SimConfig::new(Scheme::Baseline, Workload::Single("astar")),
+            &ecfg,
+            &tables,
+            &Runner::sequential(),
+        );
+    }
+
+    #[test]
+    fn shards_are_distinct_and_folds_cover_them() {
+        let ecfg = tiny_ecfg();
+        let tables = ecfg.tables();
+        let run = run_sharded(&sharded_cfg(2), &ecfg, &tables, &Runner::sequential());
+        assert_eq!(run.shards.len(), 2);
+        // Shard-salted seeds: the two channels simulate different streams.
+        assert_ne!(
+            run.shards[0].trace.as_ref().map(|t| t.digest),
+            run.shards[1].trace.as_ref().map(|t| t.digest)
+        );
+        // The folds cover every shard.
+        let writes: u64 = run.shards.iter().map(|r| r.mem.data_writes).sum();
+        assert_eq!(run.mem.data_writes, writes);
+        assert_eq!(
+            run.end,
+            run.shards.iter().map(|r| r.end).max().expect("two shards")
+        );
+        assert!(run.digest.is_some());
+        assert!(run.records > 0);
+        let s = run.summary();
+        assert!(s.contains("topology 2x2"), "{s}");
+        assert!(s.contains("merged trace digest"), "{s}");
+    }
+
+    #[test]
+    fn merged_digest_is_jobs_invariant() {
+        let ecfg = tiny_ecfg();
+        let tables = ecfg.tables();
+        let seq = run_sharded(&sharded_cfg(4), &ecfg, &tables, &Runner::sequential());
+        let par = run_sharded(&sharded_cfg(4), &ecfg, &tables, &Runner::with_jobs(4));
+        assert_eq!(seq.digest, par.digest);
+        assert_eq!(seq.mem.data_writes, par.mem.data_writes);
+        assert_eq!(seq.end, par.end);
+    }
+
+    #[test]
+    fn each_shard_is_stamped_with_its_index() {
+        let ecfg = tiny_ecfg();
+        let tables = ecfg.tables();
+        let run = run_sharded(&sharded_cfg(2), &ecfg, &tables, &Runner::sequential());
+        for (i, r) in run.shards.iter().enumerate() {
+            let t = r.trace.as_ref().expect("tracing on");
+            assert_eq!(
+                t.totals.shard_tags, 1,
+                "shard {i} must carry exactly one ShardTag"
+            );
+        }
+    }
+}

@@ -18,7 +18,7 @@ use ladder_faults::{CellFaultModel, FaultConfig, FaultStats, SharedCellFaultMode
 use ladder_memctrl::{
     CtrlWake, CwTrace, LatencyHistogram, MemCtrlConfig, MemStats, MemoryController, ReqId, Tables,
 };
-use ladder_reram::{AddressMap, EventQueue, Geometry, Instant, LineAddr, Picos};
+use ladder_reram::{AddressMap, EventQueue, Geometry, Instant, Interleave, LineAddr, Picos};
 use ladder_trace::{DispatchKind, Mergeable, Trace, TraceRecord, TraceRecorder};
 use ladder_wear::{RotateHwl, SharedRetirePool, SharedWearMap, WearLeveler};
 use ladder_xbar::{CrossbarParams, TimingTable};
@@ -197,6 +197,8 @@ impl RunResult {
 /// Everything needed to run one configuration.
 pub struct SystemBuilder {
     geometry: Geometry,
+    interleave: Interleave,
+    shard: Option<u32>,
     mem_cfg: MemCtrlConfig,
     core_cfg: CoreConfig,
     params: CrossbarParams,
@@ -226,6 +228,8 @@ impl SystemBuilder {
     pub fn new(scheme: Scheme, ladder_table: TimingTable, blp_table: TimingTable) -> Self {
         Self {
             geometry: Geometry::default(),
+            interleave: Interleave::Channel,
+            shard: None,
             mem_cfg: MemCtrlConfig::default(),
             core_cfg: CoreConfig::default(),
             params: CrossbarParams::default(),
@@ -243,6 +247,29 @@ impl SystemBuilder {
             fault_cfg: None,
             tracing: false,
         }
+    }
+
+    /// Overrides the module geometry (default: [`Geometry::default`]).
+    /// The sharded runner uses this to hand each shard its one-channel
+    /// slice of the topology.
+    pub fn geometry(&mut self, g: Geometry) -> &mut Self {
+        self.geometry = g;
+        self
+    }
+
+    /// Sets the address striping policy (default: the legacy
+    /// channel-fastest order, which golden traces depend on).
+    pub fn interleave(&mut self, interleave: Interleave) -> &mut Self {
+        self.interleave = interleave;
+        self
+    }
+
+    /// Stamps this run as shard `index` of a sharded topology: when
+    /// tracing, the kernel emits a [`TraceRecord::ShardTag`] at `t = 0`
+    /// so each shard's digest is bound to its identity.
+    pub fn shard(&mut self, index: u32) -> &mut Self {
+        self.shard = Some(index);
+        self
     }
 
     /// Enables structured tracing: the kernel and the controller each get
@@ -324,7 +351,7 @@ impl SystemBuilder {
     /// Panics if no cores were added.
     pub fn run(self) -> RunResult {
         assert!(!self.traces.is_empty(), "at least one core required");
-        let map = AddressMap::new(self.geometry.clone());
+        let map = AddressMap::with_interleave(self.geometry.clone(), self.interleave);
         let policy = self.scheme.build_policy_with(
             &self.params,
             &self.ladder_table,
@@ -349,7 +376,7 @@ impl SystemBuilder {
             let model = CellFaultModel::new(
                 fcfg,
                 self.ladder_table.clone(),
-                AddressMap::new(self.geometry.clone()),
+                AddressMap::with_interleave(self.geometry.clone(), self.interleave),
             )
             .with_retire_pool(pool.clone());
             let shared = SharedCellFaultModel::new(model);
@@ -391,6 +418,13 @@ impl SystemBuilder {
         };
         if self.tracing {
             sim.mc.set_trace_recorder(TraceRecorder::enabled());
+        }
+        if let Some(shard) = self.shard {
+            // Bind the shard identity into the trace stream (and hence
+            // the digest) before any kernel event fires. A no-op unless
+            // tracing is on.
+            sim.recorder
+                .record(Instant::ZERO, TraceRecord::ShardTag { shard });
         }
         let end = sim.run(&mut cores);
 
@@ -891,7 +925,8 @@ mod tests {
 #[cfg(test)]
 mod summary_tests {
     use super::*;
-    use crate::experiments::{run_one, ExperimentConfig, RunOptions, Workload};
+    use crate::config::{run_sim, SimConfig};
+    use crate::experiments::{ExperimentConfig, Workload};
 
     #[test]
     fn summary_mentions_every_section() {
@@ -900,12 +935,10 @@ mod summary_tests {
             ..ExperimentConfig::default()
         };
         let tables = cfg.tables();
-        let r = run_one(
-            Scheme::LadderHybrid,
-            Workload::Single("astar"),
+        let r = run_sim(
+            &SimConfig::new(Scheme::LadderHybrid, Workload::Single("astar")),
             &cfg,
             &tables,
-            RunOptions::default(),
         );
         let s = r.summary();
         for needle in [

@@ -143,6 +143,11 @@ fn render_event(tid: usize, at_ps: u64, record: &TraceRecord) -> String {
              \"name\":\"uncorrectable\"}}",
             ts_us(at_ps)
         ),
+        TraceRecord::ShardTag { shard } => format!(
+            "{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"s\":\"p\",\
+             \"name\":\"shard:{shard}\"}}",
+            ts_us(at_ps)
+        ),
     }
 }
 

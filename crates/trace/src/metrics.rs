@@ -183,6 +183,9 @@ pub struct TraceTotals {
     pub location_pulse_time: Picos,
     /// Σ pulse width (`tWR`) across metadata write-backs.
     pub metadata_pulse_time: Picos,
+    /// Shard identity stamps seen (one per shard of a sharded run; zero
+    /// on the monolithic path).
+    pub shard_tags: u64,
 }
 
 impl TraceTotals {
@@ -276,6 +279,7 @@ impl TraceTotals {
             TraceRecord::VerifyRetry { .. } => self.failed_verifies += 1,
             TraceRecord::EccCorrection { bits } => self.ecc_corrected_bits += bits as u64,
             TraceRecord::Uncorrectable => self.uncorrectable += 1,
+            TraceRecord::ShardTag { .. } => self.shard_tags += 1,
         }
     }
 
@@ -305,6 +309,11 @@ impl TraceTotals {
         reg.add("time.retry_ps", self.retry_time.as_ps());
         reg.add("time.service_ps", self.service_time.as_ps());
         reg.add("time.metadata_pulse_ps", self.metadata_pulse_time.as_ps());
+        // Only sharded runs carry identity stamps; keep the monolithic
+        // export byte-identical by omitting the zero counter.
+        if self.shard_tags > 0 {
+            reg.add("shard.tags", self.shard_tags);
+        }
         reg
     }
 }
@@ -333,6 +342,7 @@ impl Mergeable for TraceTotals {
         self.worst_pulse_time += other.worst_pulse_time;
         self.location_pulse_time += other.location_pulse_time;
         self.metadata_pulse_time += other.metadata_pulse_time;
+        self.shard_tags += other.shard_tags;
     }
 }
 

@@ -176,6 +176,14 @@ pub enum TraceRecord {
     },
     /// Residual failed bits exceeded the correction budget (data loss).
     Uncorrectable,
+    /// Identity stamp of a sharded run: emitted once at t=0 by each
+    /// shard's event kernel, so every shard's record stream — and hence
+    /// its digest — is bound to its shard index. Never emitted on the
+    /// monolithic (topology-free) path.
+    ShardTag {
+        /// The shard (channel) index.
+        shard: u32,
+    },
 }
 
 impl TraceRecord {
@@ -189,6 +197,7 @@ impl TraceRecord {
             TraceRecord::VerifyRetry { .. } => 5,
             TraceRecord::EccCorrection { .. } => 6,
             TraceRecord::Uncorrectable => 7,
+            TraceRecord::ShardTag { .. } => 8,
         }
     }
 
@@ -247,6 +256,7 @@ impl TraceRecord {
             }
             TraceRecord::EccCorrection { bits } => fold_u64(h, bits as u64),
             TraceRecord::Uncorrectable => h,
+            TraceRecord::ShardTag { shard } => fold_u64(h, shard as u64),
         }
     }
 }

@@ -157,6 +157,34 @@ impl fmt::Display for TraceDigest {
     }
 }
 
+/// Folds per-shard trace digests into one merged fingerprint.
+///
+/// Each shard's position and digest are folded in iteration order, so the
+/// result is order-sensitive: callers must fold shards in shard-index
+/// order. Because a work-stealing runner returns shard results in
+/// submission order regardless of worker count, the merged digest is
+/// bit-identical at any `--jobs`.
+///
+/// # Examples
+///
+/// ```
+/// use ladder_trace::{merge_digests, TraceDigest};
+///
+/// let shards = [TraceDigest(1), TraceDigest(2)];
+/// let ab = merge_digests(shards);
+/// let ba = merge_digests([TraceDigest(2), TraceDigest(1)]);
+/// assert_ne!(ab, ba);
+/// assert_eq!(ab, merge_digests(shards));
+/// ```
+pub fn merge_digests(digests: impl IntoIterator<Item = TraceDigest>) -> TraceDigest {
+    let mut h = FNV_OFFSET;
+    for (i, d) in digests.into_iter().enumerate() {
+        h = fold_u64(h, i as u64);
+        h = fold_u64(h, d.0);
+    }
+    TraceDigest(h)
+}
+
 /// One named recorder's contribution to an assembled [`Trace`].
 #[derive(Debug, Clone)]
 pub struct TracePart {

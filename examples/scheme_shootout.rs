@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release --example scheme_shootout [workload]`
 //! where `workload` is a benchmark (`astar`, `mcf`, …) or a mix (`mix-1`).
 
-use ladder_sim::experiments::{run_one, ExperimentConfig, RunOptions, Workload};
-use ladder_sim::Scheme;
+use ladder_sim::experiments::{ExperimentConfig, Workload};
+use ladder_sim::{run_sim, Scheme, SimConfig};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "astar".into());
@@ -34,16 +34,10 @@ fn main() {
         "{:<16}{:>10}{:>14}{:>14}{:>12}{:>12}",
         "scheme", "speedup", "read lat(ns)", "write svc(ns)", "extra rd", "extra wr"
     );
-    let base = run_one(
-        Scheme::Baseline,
-        workload,
-        &cfg,
-        &tables,
-        RunOptions::default(),
-    );
+    let base = run_sim(&SimConfig::new(Scheme::Baseline, workload), &cfg, &tables);
     let mut hybrid_summary = String::new();
     for scheme in Scheme::MAIN_EVAL {
-        let r = run_one(scheme, workload, &cfg, &tables, RunOptions::default());
+        let r = run_sim(&SimConfig::new(scheme, workload), &cfg, &tables);
         if scheme == Scheme::LadderHybrid {
             hybrid_summary = r.summary();
         }

@@ -24,10 +24,20 @@ lint:
 bench-check:
     cargo test -q -p ladder-bench --benches --offline
 
-# Regenerate the golden trace digests after an intentional simulator
-# change (commit the resulting tests/golden/ diff).
+# Regenerate the golden trace digests (monolithic and sharded) after an
+# intentional simulator change (commit the resulting tests/golden/ diff).
 regen-golden:
     GOLDEN_REGEN=1 cargo test -q --offline --test golden_trace -- --nocapture
+    GOLDEN_REGEN=1 cargo test -q --offline --test shard_determinism -- --nocapture
+
+# Sharded scale-out smoke: the interleave sweep (merged trace digests
+# included) must be bit-identical across worker counts.
+shards:
+    cargo build --release -p ladder-bench --offline
+    a=$$(./target/release/interleave --quick --topology 4x2 --jobs 1 2>/dev/null); \
+    b=$$(./target/release/interleave --quick --topology 4x2 --jobs 4 2>/dev/null); \
+    [ "$$a" = "$$b" ] && echo "shards: jobs-invariant OK"
+    cargo test -q --offline --test shard_determinism
 
 # Regenerate the paper's main evaluation (set jobs, e.g. `just main-eval 8`).
 main-eval jobs="4":
@@ -38,7 +48,7 @@ main-eval jobs="4":
 smoke:
     cargo build --release -p ladder-bench --offline
     for bin in fig2 fig4b fig11 fig15 main_eval lifetime variability tables \
-               ablations crash mna_table extension faults; do \
+               ablations crash mna_table extension faults interleave; do \
         echo "-> $bin"; \
         ./target/release/$bin --quick --jobs 2 >/dev/null; \
     done

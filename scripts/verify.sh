@@ -39,7 +39,7 @@ cargo test -q -p ladder-bench --benches --offline
 # (arg parsing, figure assembly, the event kernel under each scheme).
 echo "==> smoke: ladder-bench binaries (--quick --jobs 2)"
 for bin in fig2 fig4b fig11 fig15 main_eval lifetime variability tables \
-           ablations crash mna_table extension faults; do
+           ablations crash mna_table extension faults interleave; do
     echo "  -> $bin"
     ./target/release/"$bin" --quick --jobs 2 >/dev/null
 done
@@ -53,5 +53,21 @@ grep -q '"traceEvents"' "$trace_out"
 grep -q '"displayTimeUnit"' "$trace_out"
 rm -f "$trace_out"
 cargo test -q --offline --test golden_trace >/dev/null
+
+# Sharded scale-out gate: the interleave sweep's whole output (per-cell
+# merged trace digests included) must be bit-identical across worker
+# counts, and the shard golden digests must match tests/golden/.
+echo "==> shard smoke: --topology 4x2 jobs-invariance + shard golden check"
+shard_seq=$(./target/release/interleave --quick --topology 4x2 --jobs 1 2>/dev/null)
+shard_par=$(./target/release/interleave --quick --topology 4x2 --jobs 4 2>/dev/null)
+if [ "$shard_seq" != "$shard_par" ]; then
+    echo "error: sharded interleave sweep diverged between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+echo "$shard_seq" | grep -q 'digest' || {
+    echo "error: interleave sweep emitted no merged digests" >&2
+    exit 1
+}
+cargo test -q --offline --test shard_determinism >/dev/null
 
 echo "verify: OK"

@@ -44,16 +44,22 @@
 //!
 //! The experiment entry points in [`sim::experiments`] run through the
 //! work-stealing [`sim::Runner`], which executes independent
-//! [`sim::RunSpec`] jobs across threads while keeping output byte-identical
-//! to a sequential run.
+//! [`sim::SimConfig`] jobs across threads while keeping output
+//! byte-identical to a sequential run. A multi-channel [`sim::Topology`]
+//! (`--topology CxR`) shards a run into one controller and event stream
+//! per channel via [`sim::run_sharded`], folded bit-reproducibly at any
+//! worker count.
 
 /// The shared `(ladder, blp)` timing-table bundle, re-exported at the top
 /// level because nearly every entry point takes one.
 pub use ladder_memctrl::Tables;
 /// Per-event-kind dispatch counters of the discrete-event kernel.
 pub use ladder_sim::EventCounts;
+/// The topology-aware run API: builder-constructed configs, the
+/// monolithic entry point, and the sharded multi-channel runner.
+pub use ladder_sim::{run_sharded, run_sim, Interleave, ShardedRun, SimConfig, Topology};
 /// The parallel experiment runner and its job/statistics types.
-pub use ladder_sim::{AloneIpcCache, RunSpec, Runner, RunnerStats};
+pub use ladder_sim::{AloneIpcCache, Runner, RunnerStats};
 
 pub use ladder_baselines as baselines;
 pub use ladder_core as core;

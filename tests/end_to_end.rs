@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: whole-system runs under every scheme,
 //! checking the invariants the paper's evaluation relies on.
 
-use ladder::sim::experiments::{run_one, ExperimentConfig, RunOptions, Workload};
-use ladder::sim::{RunResult, Scheme};
+use ladder::sim::experiments::{ExperimentConfig, Workload};
+use ladder::sim::{run_sim, RunResult, Scheme, SimConfig};
 
 fn quick_cfg() -> ExperimentConfig {
     ExperimentConfig {
@@ -13,7 +13,7 @@ fn quick_cfg() -> ExperimentConfig {
 
 fn run(scheme: Scheme, workload: Workload, cfg: &ExperimentConfig) -> RunResult {
     let tables = cfg.tables();
-    run_one(scheme, workload, cfg, &tables, RunOptions::default())
+    run_sim(&SimConfig::new(scheme, workload), cfg, &tables)
 }
 
 #[test]
@@ -21,12 +21,10 @@ fn every_scheme_completes_a_single_workload() {
     let cfg = quick_cfg();
     let tables = cfg.tables();
     for scheme in Scheme::MAIN_EVAL {
-        let r = run_one(
-            scheme,
-            Workload::Single("astar"),
+        let r = run_sim(
+            &SimConfig::new(scheme, Workload::Single("astar")),
             &cfg,
             &tables,
-            RunOptions::default(),
         );
         assert!(r.cores[0].retired > 0, "{scheme}: no instructions retired");
         assert!(r.mem.data_writes > 0, "{scheme}: no writes serviced");
@@ -65,7 +63,7 @@ fn paper_scheme_ordering_holds_on_write_service() {
     let tables = cfg.tables();
     let w = Workload::Single("fsim");
     let get = |s| {
-        run_one(s, w, &cfg, &tables, RunOptions::default())
+        run_sim(&SimConfig::new(s, w), &cfg, &tables)
             .avg_write_service()
             .as_ns()
     };
@@ -88,14 +86,8 @@ fn ladder_speedup_is_substantial_on_mixes() {
     let cfg = quick_cfg();
     let tables = cfg.tables();
     let w = Workload::Mix("mix-7");
-    let base = run_one(Scheme::Baseline, w, &cfg, &tables, RunOptions::default());
-    let hyb = run_one(
-        Scheme::LadderHybrid,
-        w,
-        &cfg,
-        &tables,
-        RunOptions::default(),
-    );
+    let base = run_sim(&SimConfig::new(Scheme::Baseline, w), &cfg, &tables);
+    let hyb = run_sim(&SimConfig::new(Scheme::LadderHybrid, w), &cfg, &tables);
     let speedup: f64 = hyb
         .cores
         .iter()
@@ -114,15 +106,9 @@ fn metadata_traffic_ranks_basic_above_est_above_hybrid() {
     };
     let tables = cfg.tables();
     let w = Workload::Single("cannl");
-    let basic = run_one(Scheme::LadderBasic, w, &cfg, &tables, RunOptions::default());
-    let est = run_one(Scheme::LadderEst, w, &cfg, &tables, RunOptions::default());
-    let hybrid = run_one(
-        Scheme::LadderHybrid,
-        w,
-        &cfg,
-        &tables,
-        RunOptions::default(),
-    );
+    let basic = run_sim(&SimConfig::new(Scheme::LadderBasic, w), &cfg, &tables);
+    let est = run_sim(&SimConfig::new(Scheme::LadderEst, w), &cfg, &tables);
+    let hybrid = run_sim(&SimConfig::new(Scheme::LadderHybrid, w), &cfg, &tables);
     assert!(
         basic.mem.additional_read_fraction() > est.mem.additional_read_fraction(),
         "SMB reads must make Basic's read overhead the largest"
@@ -139,23 +125,16 @@ fn wear_leveling_keeps_most_of_the_performance() {
     let cfg = quick_cfg();
     let tables = cfg.tables();
     let w = Workload::Single("lbm");
-    let plain = run_one(
-        Scheme::LadderHybrid,
-        w,
+    let plain = run_sim(&SimConfig::new(Scheme::LadderHybrid, w), &cfg, &tables);
+    let leveled = run_sim(
+        &SimConfig::builder()
+            .scheme(Scheme::LadderHybrid)
+            .workload(w)
+            .wear_leveling(true)
+            .track_wear(true)
+            .build(),
         &cfg,
         &tables,
-        RunOptions::default(),
-    );
-    let leveled = run_one(
-        Scheme::LadderHybrid,
-        w,
-        &cfg,
-        &tables,
-        RunOptions {
-            wear_leveling: true,
-            track_wear: true,
-            ..RunOptions::default()
-        },
     );
     let ratio = leveled.ipc0() / plain.ipc0();
     assert!(ratio > 0.9, "wear-leveling cost too high: {ratio}");

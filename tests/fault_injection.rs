@@ -3,8 +3,8 @@
 //! nonzero rate degrades runs deterministically at any worker count.
 
 use ladder::faults::FaultConfig;
-use ladder::sim::experiments::{error_rate_sweep, run_one, ExperimentConfig, RunOptions, Workload};
-use ladder::sim::{RunResult, Scheme};
+use ladder::sim::experiments::{error_rate_sweep, ExperimentConfig, Workload};
+use ladder::sim::{run_sim, RunResult, Scheme, SimConfig};
 use ladder::Runner;
 use proptest::prelude::*;
 
@@ -46,16 +46,15 @@ proptest! {
         let cfg = tiny_cfg(seed);
         let tables = cfg.tables();
         let w = Workload::Single("astar");
-        let plain = run_one(scheme, w, &cfg, &tables, RunOptions::default());
-        let inert = run_one(
-            scheme,
-            w,
+        let plain = run_sim(&SimConfig::new(scheme, w), &cfg, &tables);
+        let inert = run_sim(
+            &SimConfig::builder()
+                .scheme(scheme)
+                .workload(w)
+                .faults(FaultConfig::new(fault_seed))
+                .build(),
             &cfg,
             &tables,
-            RunOptions {
-                faults: Some(FaultConfig::new(fault_seed)),
-                ..RunOptions::default()
-            },
         );
         assert_bit_identical(&plain, &inert);
         let f = inert.faults.expect("model installed");
@@ -72,22 +71,15 @@ fn nonzero_rate_degrades_and_accounts() {
     let cfg = tiny_cfg(2021);
     let tables = cfg.tables();
     let w = Workload::Single("lbm");
-    let plain = run_one(
-        Scheme::LadderHybrid,
-        w,
+    let plain = run_sim(&SimConfig::new(Scheme::LadderHybrid, w), &cfg, &tables);
+    let faulty = run_sim(
+        &SimConfig::builder()
+            .scheme(Scheme::LadderHybrid)
+            .workload(w)
+            .faults(FaultConfig::with_ber(2021, 5e-3))
+            .build(),
         &cfg,
         &tables,
-        RunOptions::default(),
-    );
-    let faulty = run_one(
-        Scheme::LadderHybrid,
-        w,
-        &cfg,
-        &tables,
-        RunOptions {
-            faults: Some(FaultConfig::with_ber(2021, 5e-3)),
-            ..RunOptions::default()
-        },
     );
     assert!(
         faulty.mem.failed_verifies > 0,
@@ -107,14 +99,7 @@ fn nonzero_rate_degrades_and_accounts() {
     assert!(faulty.summary().contains("transient bit errors"));
     assert!(
         plain.summary()
-            == run_one(
-                Scheme::LadderHybrid,
-                w,
-                &cfg,
-                &tables,
-                RunOptions::default()
-            )
-            .summary()
+            == run_sim(&SimConfig::new(Scheme::LadderHybrid, w), &cfg, &tables).summary()
     );
 }
 

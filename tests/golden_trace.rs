@@ -11,8 +11,8 @@
 //! Regenerate with `just regen-golden` (or
 //! `GOLDEN_REGEN=1 cargo test --test golden_trace -- --nocapture`).
 
-use ladder::sim::experiments::{ExperimentConfig, RunOptions, Workload};
-use ladder::sim::{RunSpec, Runner, Scheme};
+use ladder::sim::experiments::{ExperimentConfig, Workload};
+use ladder::sim::{Runner, Scheme, SimConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -34,15 +34,17 @@ fn golden_path() -> PathBuf {
 fn canonical_digest(jobs: usize) -> String {
     let cfg = ExperimentConfig::quick();
     let tables = Arc::new(cfg.tables());
-    let opts = RunOptions {
-        trace: true,
-        ..RunOptions::default()
-    };
-    let specs: Vec<RunSpec> = CANONICAL
+    let configs: Vec<SimConfig> = CANONICAL
         .iter()
-        .map(|&(s, b)| RunSpec::with_options(s, Workload::Single(b), opts))
+        .map(|&(s, b)| {
+            SimConfig::builder()
+                .scheme(s)
+                .workload(Workload::Single(b))
+                .trace(true)
+                .build()
+        })
         .collect();
-    let (results, _) = Runner::with_jobs(jobs).run_specs(&cfg, &tables, &specs);
+    let (results, _) = Runner::with_jobs(jobs).run_configs(&cfg, &tables, &configs);
     let mut out = String::new();
     for (&(scheme, bench), r) in CANONICAL.iter().zip(&results) {
         let trace = r.trace.as_ref().expect("tracing was requested");

@@ -6,20 +6,22 @@
 
 use ladder::faults::FaultConfig;
 use ladder::reram::Picos;
-use ladder::sim::experiments::{run_one, ExperimentConfig, RunOptions, Workload};
-use ladder::sim::{RunResult, RunSpec, Runner, Scheme};
+use ladder::sim::experiments::{ExperimentConfig, Workload};
+use ladder::sim::{run_sim, RunResult, Runner, Scheme, SimConfig};
 use ladder::trace::{fold, DispatchKind, TraceTotals};
 use std::sync::Arc;
 
 fn quick_traced(scheme: Scheme, bench: &'static str, faults: Option<FaultConfig>) -> RunResult {
     let cfg = ExperimentConfig::quick();
     let tables = cfg.tables();
-    let opts = RunOptions {
-        trace: true,
-        faults,
-        ..RunOptions::default()
-    };
-    run_one(scheme, Workload::Single(bench), &cfg, &tables, opts)
+    let mut b = SimConfig::builder()
+        .scheme(scheme)
+        .workload(Workload::Single(bench))
+        .trace(true);
+    if let Some(f) = faults {
+        b = b.faults(f);
+    }
+    run_sim(&b.build(), &cfg, &tables)
 }
 
 /// Every reconcilable total, asserted exactly (no tolerances: the trace is
@@ -158,22 +160,24 @@ fn trace_totals_reconcile_under_faults() {
 fn folded_trace_totals_match_runner_aggregates() {
     let cfg = ExperimentConfig::quick();
     let tables = Arc::new(cfg.tables());
-    let opts = RunOptions {
-        trace: true,
-        ..RunOptions::default()
-    };
-    let specs: Vec<RunSpec> = [
+    let configs: Vec<SimConfig> = [
         (Scheme::LadderEst, "astar"),
         (Scheme::LadderEst, "mcf"),
         (Scheme::Baseline, "libq"),
         (Scheme::Blp, "astar"),
     ]
     .into_iter()
-    .map(|(s, b)| RunSpec::with_options(s, Workload::Single(b), opts))
+    .map(|(s, b)| {
+        SimConfig::builder()
+            .scheme(s)
+            .workload(Workload::Single(b))
+            .trace(true)
+            .build()
+    })
     .collect();
 
     let fold_batch = |jobs: usize| {
-        let (results, stats) = Runner::with_jobs(jobs).run_specs(&cfg, &tables, &specs);
+        let (results, stats) = Runner::with_jobs(jobs).run_configs(&cfg, &tables, &configs);
         let folded: TraceTotals = fold(
             results
                 .iter()
