@@ -15,20 +15,26 @@
 //! | `tables` | Tables 1–4 — configuration and overheads |
 //! | `faults` | Extension — raw BER sweep: P&V retries, ECC, data loss |
 //! | `interleave` | Extension — striping-policy sweep over a sharded topology |
+//! | `service` | Extension — open-loop tail-latency SLO sweep (load × arrival × scheme) |
 //!
 //! Every binary parses the same command line through [`BenchArgs`]:
-//! strict by default (unknown flags exit with the usage message), so the
+//! strict by default (unknown flags exit with the usage message, and a
+//! flag given twice is rejected rather than silently last-wins), so the
 //! whole fleet accepts `--quick/--instructions/--seed/--jobs/--trace`
-//! plus the topology surface `--topology CxR` and `--interleave P`.
+//! plus the topology surface `--topology CxR` / `--interleave P` and the
+//! service-sweep knobs `--arrival/--zipf/--tenants/--load`.
 //!
 //! Criterion micro-benchmarks for the hot kernels live under `benches/`.
 
 use ladder_sim::experiments::{ExperimentConfig, Workload};
-use ladder_sim::{run_sharded, run_sim, Interleave, Runner, Scheme, SimConfig, Topology};
+use ladder_sim::{
+    run_sharded, run_sim, ArrivalKind, Interleave, Runner, Scheme, SimConfig, Topology,
+};
 
 /// The flags every binary accepts, printed when parsing fails.
 pub const USAGE: &str = "usage: [--quick] [--instructions N] [--seed S] [--jobs N] [--topology CxR]
        [--interleave P] [--csv DIR] [--trace PATH]
+       [--arrival A] [--zipf T] [--tenants N] [--load L1,L2,..]
   --quick           smoke-test scale (120 k instructions per core)
   --instructions N  instructions per core (overrides --quick)
   --seed S          master workload seed (default 2021)
@@ -38,7 +44,14 @@ pub const USAGE: &str = "usage: [--quick] [--instructions N] [--seed S] [--jobs 
   --interleave P    address striping policy: channel | bank | page
   --csv DIR         also write CSV output into DIR (main_eval only)
   --trace PATH      additionally run one traced LADDER-Est simulation and
-                    write chrome://tracing JSON to PATH (summary on stderr)";
+                    write chrome://tracing JSON to PATH (summary on stderr)
+  --arrival A       open-loop arrival process: poisson | bursty
+                    (service only; default: sweep both)
+  --zipf T          Zipfian key skew in (0,1), 0 = uniform (service only)
+  --tenants N       tenant count in the service mix (service only)
+  --load L1,L2,..   offered loads in requests/us to sweep (service only)
+
+Every flag may appear at most once; duplicates are rejected.";
 
 /// The parsed bench command line, shared by every binary.
 ///
@@ -69,6 +82,16 @@ pub struct BenchArgs {
     pub interleave: Option<Interleave>,
     /// `--csv DIR`: CSV output directory (consumed by `main_eval`).
     pub csv: Option<String>,
+    /// `--arrival A`: restrict the `service` sweep to one arrival
+    /// process. `None` sweeps every [`ArrivalKind`].
+    pub arrival: Option<ArrivalKind>,
+    /// `--zipf T`: Zipfian key skew for the `service` tenant mix.
+    pub zipf: Option<f64>,
+    /// `--tenants N`: tenant count for the `service` mix.
+    pub tenants: Option<usize>,
+    /// `--load L1,L2,..`: offered loads (requests/µs) the `service`
+    /// binary sweeps. Empty when the flag was absent.
+    pub load: Vec<f64>,
     /// Non-flag arguments in order (e.g. `tables`' table selector).
     pub positional: Vec<String>,
 }
@@ -86,7 +109,8 @@ impl BenchArgs {
     /// # Errors
     ///
     /// Returns a message naming the offending argument on an unknown
-    /// flag, a flag missing its value, or an unparsable value.
+    /// flag, a duplicate flag, a flag missing its value, or an
+    /// unparsable value.
     pub fn parse_from(argv: &[String]) -> Result<BenchArgs, String> {
         let mut quick = false;
         let mut instructions: Option<u64> = None;
@@ -96,40 +120,63 @@ impl BenchArgs {
         let mut topology = None;
         let mut interleave = None;
         let mut csv = None;
+        let mut arrival = None;
+        let mut zipf = None;
+        let mut tenants = None;
+        let mut load: Option<Vec<f64>> = None;
         let mut positional = Vec::new();
         let mut i = 0;
         while i < argv.len() {
             match argv[i].as_str() {
                 "--quick" => {
+                    if quick {
+                        return Err("duplicate flag `--quick`".to_string());
+                    }
                     quick = true;
                     i += 1;
                 }
                 "--instructions" => {
-                    instructions = Some(flag_value(argv, i)?);
+                    set_once(&mut instructions, flag_value(argv, i)?, "--instructions")?;
                     i += 2;
                 }
                 "--seed" => {
-                    seed = Some(flag_value(argv, i)?);
+                    set_once(&mut seed, flag_value(argv, i)?, "--seed")?;
                     i += 2;
                 }
                 "--jobs" => {
-                    jobs = Some(flag_value(argv, i)?);
+                    set_once(&mut jobs, flag_value(argv, i)?, "--jobs")?;
                     i += 2;
                 }
                 "--trace" => {
-                    trace = Some(flag_value::<String>(argv, i)?);
+                    set_once(&mut trace, flag_value::<String>(argv, i)?, "--trace")?;
                     i += 2;
                 }
                 "--topology" => {
-                    topology = Some(flag_value(argv, i)?);
+                    set_once(&mut topology, flag_value(argv, i)?, "--topology")?;
                     i += 2;
                 }
                 "--interleave" => {
-                    interleave = Some(flag_value(argv, i)?);
+                    set_once(&mut interleave, flag_value(argv, i)?, "--interleave")?;
                     i += 2;
                 }
                 "--csv" => {
-                    csv = Some(flag_value::<String>(argv, i)?);
+                    set_once(&mut csv, flag_value::<String>(argv, i)?, "--csv")?;
+                    i += 2;
+                }
+                "--arrival" => {
+                    set_once(&mut arrival, flag_value(argv, i)?, "--arrival")?;
+                    i += 2;
+                }
+                "--zipf" => {
+                    set_once(&mut zipf, flag_value(argv, i)?, "--zipf")?;
+                    i += 2;
+                }
+                "--tenants" => {
+                    set_once(&mut tenants, flag_value(argv, i)?, "--tenants")?;
+                    i += 2;
+                }
+                "--load" => {
+                    set_once(&mut load, load_list(argv, i)?, "--load")?;
                     i += 2;
                 }
                 other if other.starts_with('-') => {
@@ -160,6 +207,10 @@ impl BenchArgs {
             topology,
             interleave,
             csv,
+            arrival,
+            zipf,
+            tenants,
+            load: load.unwrap_or_default(),
             positional,
         })
     }
@@ -249,6 +300,35 @@ impl BenchArgs {
     }
 }
 
+/// Stores a flag's parsed value, rejecting a second occurrence — flags
+/// are single-shot, so a silent last-wins would hide operator typos in
+/// long sweep invocations.
+fn set_once<T>(slot: &mut Option<T>, value: T, flag: &str) -> Result<(), String> {
+    if slot.is_some() {
+        return Err(format!("duplicate flag `{flag}`"));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+/// Parses `--load`'s comma-separated list of offered loads; every entry
+/// must be a positive finite requests/µs figure.
+fn load_list(argv: &[String], i: usize) -> Result<Vec<f64>, String> {
+    let raw: String = flag_value(argv, i)?;
+    let mut loads = Vec::new();
+    for part in raw.split(',') {
+        let v: f64 = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("`--load` value `{raw}` is not valid"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("`--load` value `{raw}` is not valid"));
+        }
+        loads.push(v);
+    }
+    Ok(loads)
+}
+
 /// The value following `argv[i]`, parsed; errors name the flag instead of
 /// indexing out of bounds.
 fn flag_value<T: std::str::FromStr>(argv: &[String], i: usize) -> Result<T, String> {
@@ -305,6 +385,10 @@ mod tests {
         assert_eq!(a.topology, None);
         assert_eq!(a.interleave, None);
         assert_eq!(a.csv, None);
+        assert_eq!(a.arrival, None);
+        assert_eq!(a.zipf, None);
+        assert_eq!(a.tenants, None);
+        assert!(a.load.is_empty());
         assert!(a.positional.is_empty());
     }
 
@@ -334,6 +418,14 @@ mod tests {
             "/tmp/csv",
             "--trace",
             "/tmp/t.json",
+            "--arrival",
+            "bursty",
+            "--zipf",
+            "0.7",
+            "--tenants",
+            "5",
+            "--load",
+            "2.0,6.5",
         ])
         .unwrap();
         assert_eq!((a.cfg.seed, a.cfg.instructions_per_core), (7, 42));
@@ -342,6 +434,35 @@ mod tests {
         assert_eq!(a.interleave, Some(Interleave::Bank));
         assert_eq!(a.csv.as_deref(), Some("/tmp/csv"));
         assert_eq!(a.trace.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(a.arrival, Some(ArrivalKind::Bursty));
+        assert_eq!(a.zipf, Some(0.7));
+        assert_eq!(a.tenants, Some(5));
+        assert_eq!(a.load, vec![2.0, 6.5]);
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected_not_last_wins() {
+        let err = parse(&["--seed", "1", "--seed", "2"]).unwrap_err();
+        assert!(err.contains("duplicate flag `--seed`"), "{err}");
+        let err = parse(&["--quick", "--quick"]).unwrap_err();
+        assert!(err.contains("duplicate flag `--quick`"), "{err}");
+        let err = parse(&["--load", "1", "--load", "2"]).unwrap_err();
+        assert!(err.contains("duplicate flag `--load`"), "{err}");
+        // A single occurrence of each still parses.
+        assert!(parse(&["--quick", "--seed", "1"]).is_ok());
+    }
+
+    #[test]
+    fn load_list_rejects_garbage_entries() {
+        let err = parse(&["--load", "2.0,zebra"]).unwrap_err();
+        assert!(err.contains("--load"), "{err}");
+        let err = parse(&["--load", "0"]).unwrap_err();
+        assert!(err.contains("--load"), "{err}");
+        let err = parse(&["--load", "-3"]).unwrap_err();
+        assert!(err.contains("--load"), "{err}");
+        let err = parse(&["--arrival", "diagonal"]).unwrap_err();
+        assert!(err.contains("--arrival"), "{err}");
+        assert_eq!(parse(&["--load", " 4.0 "]).unwrap().load, vec![4.0]);
     }
 
     #[test]
@@ -373,6 +494,10 @@ mod tests {
             "--jobs",
             "--trace",
             "--topology",
+            "--arrival",
+            "--zipf",
+            "--tenants",
+            "--load",
         ] {
             let err = parse(&[trailing]).unwrap_err();
             assert!(err.contains("missing its value"), "{err}");

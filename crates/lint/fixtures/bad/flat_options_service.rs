@@ -1,0 +1,12 @@
+// path: crates/sim/src/experiments.rs
+// expect: flat-options
+pub fn offered_traffic() -> ServiceConfig {
+    ServiceConfig {
+        arrival: ArrivalKind::Poisson,
+        load: 6.0,
+        tenants: 3,
+        zipf_theta: 0.99,
+        read_fraction: 0.9,
+        requests: 50_000,
+    }
+}

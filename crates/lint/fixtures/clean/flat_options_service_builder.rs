@@ -1,0 +1,11 @@
+// path: crates/sim/src/experiments.rs
+pub fn offered_traffic() -> ServiceConfig {
+    ServiceConfig::builder()
+        .arrival(ArrivalKind::Poisson)
+        .load(6.0)
+        .tenants(3)
+        .zipf_theta(0.99)
+        .read_fraction(0.9)
+        .requests(50_000)
+        .build()
+}

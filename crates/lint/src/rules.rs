@@ -90,10 +90,11 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "flat-options",
-        summary: "no struct-literal construction of SimConfig/RunOptions; \
-                  go through SimConfig::builder()",
-        scope: "everywhere except crates/sim/src/config.rs (the builder \
-                module); tests/ and test spans are exempt",
+        summary: "no struct-literal construction of SimConfig/ServiceConfig; \
+                  go through their builder()s",
+        scope: "everywhere except crates/sim/src/config.rs and \
+                crates/sim/src/service.rs (the builder modules); tests/ \
+                and test spans are exempt",
     },
 ];
 
@@ -137,12 +138,12 @@ const PANIC_EXEMPT: &[&str] = &["crates/proptest/", "crates/criterion/"];
 /// Where the bench-binary conformance rule applies.
 const BENCH_BIN_SCOPE: &str = "crates/bench/src/bin/";
 
-/// The builder module — the one place allowed to write the run-config
+/// The builder modules — the only places allowed to write the run-config
 /// struct literals that `flat-options` forbids everywhere else.
-const FLAT_OPTIONS_ALLOW: &[&str] = &["crates/sim/src/config.rs"];
+const FLAT_OPTIONS_ALLOW: &[&str] = &["crates/sim/src/config.rs", "crates/sim/src/service.rs"];
 
 /// Run-config types that must be constructed through the builder.
-const FLAT_OPTIONS_TYPES: &[&str] = &["SimConfig", "RunOptions"];
+const FLAT_OPTIONS_TYPES: &[&str] = &["SimConfig", "ServiceConfig"];
 
 /// Path-derived context for one file.
 struct FileContext<'a> {
@@ -739,21 +740,22 @@ mod tests {
             rules_fired("crates/bench/src/lib.rs", literal),
             vec!["flat-options"]
         );
-        // The builder module itself and integration tests are exempt.
+        // The builder modules themselves and integration tests are exempt.
         assert!(rules_fired("crates/sim/src/config.rs", literal).is_empty());
+        assert!(rules_fired("crates/sim/src/service.rs", literal).is_empty());
         assert!(rules_fired("tests/golden_trace.rs", literal).is_empty());
     }
 
     #[test]
     fn flat_options_skips_declarations_and_builder_calls() {
-        let decls = "pub struct SimConfig { pub trace: bool }\nimpl SimConfig {\n    fn f() {}\n}\nimpl Default for RunOptions {\n    fn default() -> Self { Self::new() }\n}\n";
+        let decls = "pub struct SimConfig { pub trace: bool }\nimpl SimConfig {\n    fn f() {}\n}\nimpl Default for ServiceConfig {\n    fn default() -> Self { Self::new() }\n}\n";
         assert!(rules_fired("crates/sim/src/runner.rs", decls).is_empty());
         let builder =
             "pub fn f() -> SimConfig {\n    SimConfig::builder().trace(true).build()\n}\n";
         assert!(rules_fired("crates/sim/src/runner.rs", builder).is_empty());
-        let run_options = "fn g() {\n    let o = RunOptions { trace: true };\n}\n";
+        let service = "fn g() {\n    let o = ServiceConfig { load: 4.0 };\n}\n";
         assert_eq!(
-            rules_fired("crates/memctrl/src/lib.rs", run_options),
+            rules_fired("crates/memctrl/src/lib.rs", service),
             vec!["flat-options"]
         );
     }

@@ -15,6 +15,7 @@
 
 use crate::experiments::{shard_trace_for, ExperimentConfig, Workload};
 use crate::scheme::Scheme;
+use crate::service::{feed_for, ServiceConfig};
 use crate::system::{RunResult, SystemBuilder};
 use ladder_faults::FaultConfig;
 use ladder_memctrl::Tables;
@@ -65,6 +66,12 @@ pub struct SimConfig {
     pub faults: Option<FaultConfig>,
     /// Capture a structured trace ([`RunResult::trace`]).
     pub trace: bool,
+    /// Open-loop service mode: `Some` replaces the closed-loop cores with
+    /// a timestamped multi-tenant request stream
+    /// ([`crate::service::ServiceConfig`]); the `workload` field is then
+    /// unused. `None` is the legacy closed-loop path, byte-compatible
+    /// with the golden digests.
+    pub service: Option<ServiceConfig>,
 }
 
 impl SimConfig {
@@ -83,6 +90,7 @@ impl SimConfig {
                 wear_leveling: false,
                 faults: None,
                 trace: false,
+                service: None,
             },
         }
     }
@@ -163,6 +171,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Selects open-loop service mode: the run is driven by `service`'s
+    /// timestamped multi-tenant request stream instead of closed-loop
+    /// cores, and the result carries per-tenant latency statistics.
+    pub fn service(mut self, service: ServiceConfig) -> Self {
+        self.cfg.service = Some(service);
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> SimConfig {
         self.cfg
@@ -186,9 +202,13 @@ pub(crate) fn builder_for(
     if let Some(s) = shard {
         b.shard(s);
     }
-    for (core, bench) in cfg.workload.members().into_iter().enumerate() {
-        let (trace, mlp) = shard_trace_for(bench, core, ecfg, &geometry, shard);
-        b.core(trace, mlp);
+    if let Some(scfg) = &cfg.service {
+        b.service(feed_for(scfg, ecfg, &geometry, shard));
+    } else {
+        for (core, bench) in cfg.workload.members().into_iter().enumerate() {
+            let (trace, mlp) = shard_trace_for(bench, core, ecfg, &geometry, shard);
+            b.core(trace, mlp);
+        }
     }
     b.track_exact(cfg.track_exact);
     b.track_wear(cfg.track_wear);
@@ -252,6 +272,7 @@ mod tests {
         assert_eq!(cfg.interleave, Interleave::Channel);
         assert!(!cfg.track_exact && !cfg.track_wear && !cfg.wear_leveling);
         assert!(cfg.faults.is_none() && !cfg.trace);
+        assert!(cfg.service.is_none());
         assert_eq!(cfg.shards(), 1);
     }
 
@@ -267,12 +288,14 @@ mod tests {
             .wear_leveling(true)
             .faults(FaultConfig::with_ber(7, 1e-5))
             .trace(true)
+            .service(ServiceConfig::builder().load(6.0).build())
             .build();
         assert_eq!(cfg.scheme, Scheme::LadderHybrid);
         assert_eq!(cfg.shards(), 4);
         assert_eq!(cfg.interleave, Interleave::Page);
         assert!(cfg.track_exact && cfg.track_wear && cfg.wear_leveling && cfg.trace);
         assert!(cfg.faults.is_some());
+        assert_eq!(cfg.service.unwrap().load, 6.0);
     }
 
     #[test]

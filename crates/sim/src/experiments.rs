@@ -151,61 +151,6 @@ pub(crate) fn shard_trace_for(
     (Box::new(gen), mlp)
 }
 
-/// Options modifying a run beyond the scheme choice.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a ladder_sim::SimConfig with SimConfig::builder() instead"
-)]
-#[derive(Debug, Default, Clone, Copy)]
-pub struct RunOptions {
-    /// Track per-write exact counters (Fig. 15).
-    pub track_exact: bool,
-    /// Track per-line wear (Section 6.4).
-    pub track_wear: bool,
-    /// Wrap addresses with segment-based vertical wear-leveling and
-    /// horizontal byte rotation (Section 6.4).
-    pub wear_leveling: bool,
-    /// Install the device fault model (stuck-at + transient write
-    /// failures, P&V retries, ECC/retire recovery).
-    pub faults: Option<FaultConfig>,
-    /// Capture a structured trace ([`RunResult::trace`]).
-    pub trace: bool,
-}
-
-#[allow(deprecated)]
-impl RunOptions {
-    /// Converts these flat options into the [`SimConfig`] they describe.
-    pub(crate) fn into_config(self, scheme: Scheme, workload: Workload) -> SimConfig {
-        let mut b = SimConfig::builder()
-            .scheme(scheme)
-            .workload(workload)
-            .track_exact(self.track_exact)
-            .track_wear(self.track_wear)
-            .wear_leveling(self.wear_leveling)
-            .trace(self.trace);
-        if let Some(f) = self.faults {
-            b = b.faults(f);
-        }
-        b.build()
-    }
-}
-
-/// Runs one `(scheme, workload)` cell of the evaluation matrix.
-#[deprecated(
-    since = "0.2.0",
-    note = "use ladder_sim::run_sim with a SimConfig built by SimConfig::builder()"
-)]
-#[allow(deprecated)]
-pub fn run_one(
-    scheme: Scheme,
-    workload: Workload,
-    cfg: &ExperimentConfig,
-    tables: &Tables,
-    opts: RunOptions,
-) -> RunResult {
-    run_sim(&opts.into_config(scheme, workload), cfg, tables)
-}
-
 // ---------------------------------------------------------------------------
 // Figure 2 — motivation: worst-case vs location-aware vs data/location-aware.
 // ---------------------------------------------------------------------------

@@ -18,15 +18,15 @@ pub mod experiments;
 pub mod overhead;
 pub mod runner;
 mod scheme;
+pub mod service;
 pub mod shard;
 mod system;
 pub mod wallclock;
 
 pub use config::{run_sim, SimConfig, SimConfigBuilder};
-#[allow(deprecated)]
-pub use runner::RunSpec;
 pub use runner::{default_jobs, AloneIpcCache, Runner, RunnerStats};
 pub use scheme::Scheme;
+pub use service::{ArrivalKind, ServiceConfig, ServiceConfigBuilder, ServiceStats};
 pub use shard::{run_sharded, ShardedRun};
 pub use system::{CoreResult, EventCounts, RunResult, SystemBuilder};
 

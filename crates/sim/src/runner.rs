@@ -35,54 +35,9 @@ use ladder_memctrl::Tables;
 use ladder_reram::Picos;
 
 use crate::config::{run_sim, SimConfig};
-#[allow(deprecated)]
-use crate::experiments::RunOptions;
 use crate::experiments::{ExperimentConfig, Workload};
 use crate::scheme::Scheme;
 use crate::system::{EventCounts, RunResult};
-
-/// One cell of an evaluation matrix: a scheme, a workload, and the run
-/// options. Fully describes an independent simulation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a ladder_sim::SimConfig with SimConfig::builder() instead"
-)]
-#[allow(deprecated)]
-#[derive(Debug, Clone, Copy)]
-pub struct RunSpec {
-    /// The write scheme under test.
-    pub scheme: Scheme,
-    /// The workload driving the cores.
-    pub workload: Workload,
-    /// Extra tracking/wear options for this run.
-    pub options: RunOptions,
-}
-
-#[allow(deprecated)]
-impl RunSpec {
-    /// A spec with default [`RunOptions`].
-    pub fn new(scheme: Scheme, workload: Workload) -> Self {
-        RunSpec {
-            scheme,
-            workload,
-            options: RunOptions::default(),
-        }
-    }
-
-    /// A spec with explicit options.
-    pub fn with_options(scheme: Scheme, workload: Workload, options: RunOptions) -> Self {
-        RunSpec {
-            scheme,
-            workload,
-            options,
-        }
-    }
-
-    /// The [`SimConfig`] this spec describes.
-    fn into_config(self) -> SimConfig {
-        self.options.into_config(self.scheme, self.workload)
-    }
-}
 
 /// Timing observability for one batch of jobs.
 #[derive(Debug, Clone)]
@@ -339,23 +294,6 @@ impl Runner {
             acc.sim_time += stats.sim_time;
         }
         (results, stats)
-    }
-
-    /// Runs a batch of [`RunSpec`] simulation jobs — the deprecated
-    /// spelling of [`Runner::run_configs`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Runner::run_configs with SimConfig values"
-    )]
-    #[allow(deprecated)]
-    pub fn run_specs(
-        &self,
-        cfg: &ExperimentConfig,
-        tables: &Arc<Tables>,
-        specs: &[RunSpec],
-    ) -> (Vec<RunResult>, RunnerStats) {
-        let configs: Vec<SimConfig> = specs.iter().map(|s| s.into_config()).collect();
-        self.run_configs(cfg, tables, &configs)
     }
 }
 

@@ -13,6 +13,7 @@
 use crate::config::{builder_for, SimConfig};
 use crate::experiments::ExperimentConfig;
 use crate::runner::{Runner, RunnerStats};
+use crate::service::ServiceStats;
 use crate::system::{EventCounts, RunResult};
 use ladder_energy::EnergyBreakdown;
 use ladder_faults::FaultStats;
@@ -43,6 +44,9 @@ pub struct ShardedRun {
     /// Fault-model counters folded over all shards, when fault injection
     /// was requested.
     pub faults: Option<FaultStats>,
+    /// Open-loop service statistics folded over all shards, when the
+    /// config selected service mode.
+    pub service: Option<ServiceStats>,
     /// Merged golden-trace digest (shard digests folded in shard order),
     /// when tracing was requested and every shard produced a trace.
     pub digest: Option<TraceDigest>,
@@ -128,6 +132,7 @@ pub fn run_sharded(
     let mut end = Instant::ZERO;
     let mut read_histogram = LatencyHistogram::default();
     let mut faults: Option<FaultStats> = None;
+    let mut service: Option<ServiceStats> = None;
     let mut records = 0;
     let mut shard_digests = Vec::with_capacity(shards.len());
     for r in &shards {
@@ -139,6 +144,11 @@ pub fn run_sharded(
         read_histogram.merge_from(&r.read_histogram);
         if let Some(f) = &r.faults {
             faults.get_or_insert_with(FaultStats::default).merge(f);
+        }
+        if let Some(s) = &r.service {
+            service
+                .get_or_insert_with(ServiceStats::default)
+                .merge_from(s);
         }
         if let Some(t) = &r.trace {
             records += t.records;
@@ -160,6 +170,7 @@ pub fn run_sharded(
         end,
         read_histogram,
         faults,
+        service,
         digest,
         records,
         stats,
@@ -224,6 +235,32 @@ mod tests {
         let s = run.summary();
         assert!(s.contains("topology 2x2"), "{s}");
         assert!(s.contains("merged trace digest"), "{s}");
+    }
+
+    #[test]
+    fn sharded_service_runs_fold_tenant_stats_jobs_invariantly() {
+        use crate::service::ServiceConfig;
+
+        let cfg = SimConfig::builder()
+            .scheme(Scheme::LadderEst)
+            .workload(Workload::Single("astar"))
+            .topology(Topology::new(4, 2).expect("valid topology"))
+            .service(ServiceConfig::builder().load(6.0).requests(800).build())
+            .build();
+        let ecfg = tiny_ecfg();
+        let tables = ecfg.tables();
+        let seq = run_sharded(&cfg, &ecfg, &tables, &Runner::sequential());
+        let par = run_sharded(&cfg, &ecfg, &tables, &Runner::with_jobs(4));
+        let svc = seq.service.as_ref().expect("service mode");
+        // 4 shards × 800 requests, all serviced.
+        assert_eq!(svc.arrivals, 4 * 800);
+        assert_eq!(svc.reads_completed + svc.writes_accepted, 4 * 800);
+        // Per-shard streams are salted differently but tenant names align,
+        // so the fold groups by tenant across shards.
+        assert_eq!(svc.tenants.iter().count(), 3);
+        // The fold is bit-reproducible at any --jobs.
+        assert_eq!(seq.service, par.service);
+        assert_eq!(seq.end, par.end);
     }
 
     #[test]

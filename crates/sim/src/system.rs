@@ -11,8 +11,9 @@
 //! times.
 
 use crate::scheme::Scheme;
+use crate::service::ServiceStats;
 use ladder_core::LadderConfig;
-use ladder_cpu::{Core, CoreAction, CoreConfig, TraceSource};
+use ladder_cpu::{Core, CoreAction, CoreConfig, TraceOp, TraceSource};
 use ladder_energy::{EnergyBreakdown, EnergyMeter, EnergyParams};
 use ladder_faults::{CellFaultModel, FaultConfig, FaultStats, SharedCellFaultModel};
 use ladder_memctrl::{
@@ -21,6 +22,7 @@ use ladder_memctrl::{
 use ladder_reram::{AddressMap, EventQueue, Geometry, Instant, Interleave, LineAddr, Picos};
 use ladder_trace::{DispatchKind, Mergeable, Trace, TraceRecord, TraceRecorder};
 use ladder_wear::{RotateHwl, SharedRetirePool, SharedWearMap, WearLeveler};
+use ladder_workloads::service::ServiceGen;
 use ladder_xbar::{CrossbarParams, TimingTable};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -71,6 +73,9 @@ pub struct RunResult {
     /// The assembled structured trace, when tracing was requested
     /// ([`SystemBuilder::tracing`]).
     pub trace: Option<Trace>,
+    /// Open-loop service statistics, when a service stream drove the run
+    /// ([`SystemBuilder::service`]).
+    pub service: Option<ServiceStats>,
 }
 
 impl RunResult {
@@ -215,6 +220,7 @@ pub struct SystemBuilder {
     ladder_override: Option<LadderConfig>,
     fault_cfg: Option<FaultConfig>,
     tracing: bool,
+    service: Option<ServiceGen>,
 }
 
 impl SystemBuilder {
@@ -246,6 +252,7 @@ impl SystemBuilder {
             ladder_override: None,
             fault_cfg: None,
             tracing: false,
+            service: None,
         }
     }
 
@@ -285,6 +292,15 @@ impl SystemBuilder {
     pub fn core(&mut self, trace: Box<dyn TraceSource>, mlp: usize) -> &mut Self {
         self.traces.push(trace);
         self.core_mlps.push(mlp);
+        self
+    }
+
+    /// Installs an open-loop service stream: the kernel pumps timestamped
+    /// `RequestArrival` events from `gen` instead of (or alongside)
+    /// back-pressure-driven cores, and the run's
+    /// [`RunResult::service`] carries per-tenant latency statistics.
+    pub fn service(&mut self, gen: ServiceGen) -> &mut Self {
+        self.service = Some(gen);
         self
     }
 
@@ -348,9 +364,12 @@ impl SystemBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if no cores were added.
+    /// Panics if neither cores nor a service stream were added.
     pub fn run(self) -> RunResult {
-        assert!(!self.traces.is_empty(), "at least one core required");
+        assert!(
+            !self.traces.is_empty() || self.service.is_some(),
+            "at least one core or a service stream required"
+        );
         let map = AddressMap::with_interleave(self.geometry.clone(), self.interleave);
         let policy = self.scheme.build_policy_with(
             &self.params,
@@ -396,6 +415,23 @@ impl SystemBuilder {
             })
             .collect();
 
+        let service = self.service.map(|gen| {
+            // Register every tenant up front so idle tenants still appear
+            // in the folded report.
+            let mut stats = ServiceStats::default();
+            for t in gen.mix().tenants() {
+                stats
+                    .tenants
+                    .ensure(&t.name, (t.weight * 1e6) as u64, t.qos.code());
+            }
+            ServiceState {
+                gen,
+                next: None,
+                pending: VecDeque::new(),
+                inflight: BTreeMap::new(),
+                stats,
+            }
+        });
         let mut sim = EventKernel {
             mc,
             leveler: self.leveler,
@@ -415,6 +451,7 @@ impl SystemBuilder {
             } else {
                 TraceRecorder::disabled()
             },
+            service,
         };
         if self.tracing {
             sim.mc.set_trace_recorder(TraceRecorder::enabled());
@@ -476,6 +513,7 @@ impl SystemBuilder {
             faults: fault_model.map(|(shared, _)| shared.stats()),
             events: sim.counts,
             trace,
+            service: sim.service.map(|s| s.stats),
         }
     }
 }
@@ -489,6 +527,9 @@ enum EventKind {
     ReadComplete(ReqId),
     /// A controller-registered wake (see [`CtrlWake`]).
     Ctrl(CtrlWake),
+    /// The open-loop service stream's next request arrives. Exactly one
+    /// is in flight at a time; dispatching it pumps the next.
+    Arrival,
 }
 
 /// Per-event-kind dispatch counters for one run of the event kernel.
@@ -510,6 +551,9 @@ pub struct EventCounts {
     pub ctrl_mode_switch: u64,
     /// Controller wakes: a program-and-verify retry pulse fired.
     pub ctrl_retry_pulse: u64,
+    /// Open-loop service requests arriving (service mode only; always
+    /// zero on the closed-loop path).
+    pub request_arrival: u64,
 }
 
 impl EventCounts {
@@ -523,6 +567,7 @@ impl EventCounts {
             + self.ctrl_dep_ready
             + self.ctrl_mode_switch
             + self.ctrl_retry_pulse
+            + self.request_arrival
     }
 
     /// Accumulates another run's counters into this one.
@@ -535,6 +580,7 @@ impl EventCounts {
         self.ctrl_dep_ready += other.ctrl_dep_ready;
         self.ctrl_mode_switch += other.ctrl_mode_switch;
         self.ctrl_retry_pulse += other.ctrl_retry_pulse;
+        self.request_arrival += other.request_arrival;
     }
 
     fn count(&mut self, ev: EventKind) {
@@ -547,6 +593,7 @@ impl EventCounts {
             EventKind::Ctrl(CtrlWake::DepReady) => self.ctrl_dep_ready += 1,
             EventKind::Ctrl(CtrlWake::ModeSwitch) => self.ctrl_mode_switch += 1,
             EventKind::Ctrl(CtrlWake::RetryPulse) => self.ctrl_retry_pulse += 1,
+            EventKind::Arrival => self.request_arrival += 1,
         }
     }
 }
@@ -568,6 +615,7 @@ fn dispatch_kind(ev: EventKind) -> DispatchKind {
         EventKind::Ctrl(CtrlWake::DepReady) => DispatchKind::CtrlDepReady,
         EventKind::Ctrl(CtrlWake::ModeSwitch) => DispatchKind::CtrlModeSwitch,
         EventKind::Ctrl(CtrlWake::RetryPulse) => DispatchKind::CtrlRetryPulse,
+        EventKind::Arrival => DispatchKind::RequestArrival,
     }
 }
 
@@ -606,6 +654,29 @@ struct EventKernel {
     ctrl_dirty: bool,
     counts: EventCounts,
     recorder: TraceRecorder,
+    /// Open-loop service mode, when a service stream drives the run.
+    service: Option<ServiceState>,
+}
+
+/// Kernel-side state of the open-loop service stream.
+///
+/// Arrivals are pumped one at a time: the next request is drawn from the
+/// generator, held in `next`, and scheduled as an [`EventKind::Arrival`]
+/// at its timestamp. Requests the controller cannot accept yet wait in
+/// `pending` — that queue is the open-loop difference: it keeps filling
+/// at arrival rate while the banks are busy, and each read's latency runs
+/// from its *arrival*, not from controller acceptance.
+struct ServiceState {
+    gen: ServiceGen,
+    /// The drawn-but-not-yet-dispatched next arrival.
+    next: Option<ladder_workloads::service::ServiceRequest>,
+    /// Arrived requests the controller has not accepted yet, FIFO, as
+    /// `(arrival instant, tenant index, operation)`.
+    pending: VecDeque<(Instant, usize, TraceOp)>,
+    /// Accepted reads awaiting completion: request id → (tenant index,
+    /// arrival instant).
+    inflight: BTreeMap<u64, (usize, Instant)>,
+    stats: ServiceStats,
 }
 
 impl EventKernel {
@@ -625,6 +696,7 @@ impl EventKernel {
         for i in 0..cores.len() {
             self.drive_core(cores, i, now);
         }
+        self.pump_service_arrival();
         self.absorb();
         while let Some((t, ev)) = self.events.pop() {
             assert!(
@@ -650,6 +722,16 @@ impl EventKernel {
                     if let Some(core_idx) = self.pending_reads.remove(&id.0) {
                         cores[core_idx].on_read_completed(id.0, now);
                         self.drive_core(cores, core_idx, now);
+                    } else if let Some(svc) = &mut self.service {
+                        if let Some((tenant, arrived)) = svc.inflight.remove(&id.0) {
+                            svc.stats.reads_completed += 1;
+                            // Open-loop latency runs from *arrival*, not
+                            // from controller acceptance: queueing ahead
+                            // of the controller counts against the SLO.
+                            let latency = now.duration_since(arrived);
+                            let name = &svc.gen.mix().tenants()[tenant].name;
+                            svc.stats.tenants.record_read(name, latency);
+                        }
                     }
                 }
                 EventKind::Ctrl(_) => {
@@ -660,6 +742,28 @@ impl EventKernel {
                         self.process_ctrl(cores, now);
                     }
                 }
+                EventKind::Arrival => {
+                    if let Some(svc) = &mut self.service {
+                        if let Some(req) = svc.next.take() {
+                            svc.stats.arrivals += 1;
+                            svc.pending.push_back((
+                                Instant::from_ps(req.at_ps),
+                                req.tenant,
+                                req.op,
+                            ));
+                        }
+                    }
+                    self.pump_service_arrival();
+                    self.drain_service(now);
+                    if let Some(svc) = &mut self.service {
+                        if !svc.pending.is_empty() {
+                            // The controller is saturated; this arrival
+                            // queues kernel-side — the open-loop signal a
+                            // closed-loop run can never produce.
+                            svc.stats.deferred += 1;
+                        }
+                    }
+                }
             }
             self.absorb();
         }
@@ -667,7 +771,100 @@ impl EventKernel {
             cores.iter().all(|c| c.is_finished()),
             "event queue drained with unfinished cores (scheduling bug)"
         );
+        if let Some(svc) = &self.service {
+            assert!(
+                svc.next.is_none() && svc.pending.is_empty() && svc.inflight.is_empty(),
+                "event queue drained with undelivered service requests (scheduling bug)"
+            );
+        }
         self.mc.finish(now)
+    }
+
+    /// Draws the service stream's next request (when none is in flight)
+    /// and schedules its arrival.
+    fn pump_service_arrival(&mut self) {
+        let Some(svc) = &mut self.service else { return };
+        if svc.next.is_some() {
+            return;
+        }
+        let Some(req) = svc.gen.next_request() else {
+            return;
+        };
+        let at = Instant::from_ps(req.at_ps);
+        svc.next = Some(req);
+        self.events.schedule(at, EventKind::Arrival);
+    }
+
+    /// Offers pending service requests to the controller in arrival
+    /// order, stopping at the first the controller cannot accept (FIFO —
+    /// later requests must not overtake a blocked head-of-line request).
+    fn drain_service(&mut self, now: Instant) {
+        loop {
+            let Some((arrived, tenant, op)) =
+                self.service.as_mut().and_then(|s| s.pending.pop_front())
+            else {
+                return;
+            };
+            match op {
+                TraceOp::Read { addr, critical } => {
+                    let phys = self.map_addr(addr);
+                    match self.mc.enqueue_read(phys, now) {
+                        Some(id) => {
+                            self.ctrl_dirty = true;
+                            if let Some(svc) = &mut self.service {
+                                svc.inflight.insert(id.0, (tenant, arrived));
+                            }
+                        }
+                        None => {
+                            if let Some(svc) = &mut self.service {
+                                svc.pending.push_front((
+                                    arrived,
+                                    tenant,
+                                    TraceOp::Read { addr, critical },
+                                ));
+                            }
+                            return;
+                        }
+                    }
+                }
+                TraceOp::Write { addr, data } => {
+                    // Mirror the core write path exactly: rotate, note
+                    // wear, remap, then offer — and on rejection requeue
+                    // the original op so the retry recomputes everything,
+                    // like a re-driven core does.
+                    let stored = match &mut self.hwl {
+                        Some(h) => h.rotate_for_write(addr, &data),
+                        None => *data,
+                    };
+                    let mut migrations = match &mut self.leveler {
+                        Some(l) => l.note_write(addr),
+                        None => Vec::new(),
+                    };
+                    if let Some(pool) = &mut self.retire {
+                        migrations.extend(pool.note_write(addr));
+                    }
+                    let phys = self.map_addr(addr);
+                    if self.mc.enqueue_write(phys, stored, now) {
+                        self.ctrl_dirty = true;
+                        self.pending_migrations.extend(migrations);
+                        if let Some(svc) = &mut self.service {
+                            svc.stats.writes_accepted += 1;
+                            let name = &svc.gen.mix().tenants()[tenant].name;
+                            svc.stats.tenants.note_write(name);
+                        }
+                    } else {
+                        if let Some(svc) = &mut self.service {
+                            svc.pending.push_front((
+                                arrived,
+                                tenant,
+                                TraceOp::Write { addr, data },
+                            ));
+                        }
+                        return;
+                    }
+                }
+            }
+        }
     }
 
     /// Runs the controller at `now`, then retries everything a freed queue
@@ -687,6 +884,9 @@ impl EventKernel {
             self.ctrl_dirty = true;
             self.pending_migrations.pop_front();
         }
+        // Freed queue slots pull queued open-loop requests before waiting
+        // cores are re-driven (arrivals precede core retries in time).
+        self.drain_service(now);
         for i in 0..cores.len() {
             if self.waiting[i] {
                 self.waiting[i] = false;
@@ -908,6 +1108,73 @@ mod tests {
             assert!(c.retired > 0);
         }
         assert_eq!(r.mem.data_writes, 4 * 67); // 67 writes per core trace
+    }
+
+    #[test]
+    fn service_mode_runs_without_cores_and_records_tenant_tails() {
+        use crate::experiments::ExperimentConfig;
+        use crate::service::{feed_for, ServiceConfig};
+
+        let (lt, bt) = tables();
+        let scfg = ServiceConfig::builder().load(6.0).requests(2_000).build();
+        let ecfg = ExperimentConfig::default();
+        let run = |scheme| {
+            let mut b = SystemBuilder::new(scheme, lt.clone(), bt.clone());
+            b.service(feed_for(&scfg, &ecfg, &Geometry::default(), None));
+            b.run()
+        };
+        let r = run(Scheme::Baseline);
+        assert!(r.cores.is_empty());
+        let svc = r.service.as_ref().expect("service mode");
+        assert_eq!(svc.arrivals, 2_000);
+        assert_eq!(
+            svc.reads_completed + svc.writes_accepted,
+            2_000,
+            "every request must be serviced"
+        );
+        assert_eq!(r.events.request_arrival, 2_000);
+        assert_eq!(svc.tenants.total_reads(), svc.reads_completed);
+        assert_eq!(svc.tenants.total_writes(), svc.writes_accepted);
+        // All three tenants are registered, with their QoS codes.
+        let groups: Vec<_> = svc.tenants.iter().collect();
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|(_, g)| g.qos_code > 0));
+        // Open-loop latency (arrival→completion) includes kernel-side
+        // queueing, so it can only exceed the controller's own
+        // acceptance→completion histogram at the tail.
+        let t0 = svc.tenants.group("t0").expect("t0 registered");
+        assert!(t0.reads.count() > 0);
+        assert!(t0.reads.percentile(0.99) >= r.read_histogram.percentile(0.5));
+
+        // Deterministic: identical feeds give identical stats.
+        let r2 = run(Scheme::Baseline);
+        assert_eq!(r.service, r2.service);
+        assert_eq!(r.end, r2.end);
+    }
+
+    #[test]
+    fn service_mode_is_open_loop_under_overload() {
+        use crate::experiments::ExperimentConfig;
+        use crate::service::{feed_for, ServiceConfig};
+
+        let (lt, bt) = tables();
+        // Writes are slow; an all-write stream at absurd offered load must
+        // queue kernel-side (deferred arrivals) yet still fully drain.
+        let scfg = ServiceConfig::builder()
+            .load(500.0)
+            .read_fraction(0.0)
+            .requests(500)
+            .build();
+        let ecfg = ExperimentConfig::default();
+        let mut b = SystemBuilder::new(Scheme::Baseline, lt, bt);
+        b.service(feed_for(&scfg, &ecfg, &Geometry::default(), None));
+        let r = b.run();
+        let svc = r.service.expect("service mode");
+        assert_eq!(svc.writes_accepted, 500);
+        assert!(
+            svc.deferred > 0,
+            "overload must leave arrivals queued at the controller"
+        );
     }
 
     #[test]

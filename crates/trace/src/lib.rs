@@ -44,9 +44,11 @@ mod histogram;
 mod metrics;
 mod record;
 mod recorder;
+mod slo;
 
 pub use export::{chrome_trace_json, time_attribution};
 pub use histogram::LatencyHistogram;
 pub use metrics::{fold, Mergeable, MetricsRegistry, TraceTotals};
 pub use record::{DispatchKind, PulseKind, ReadClass, TraceEvent, TraceRecord, C_LRS_UNTRACKED};
 pub use recorder::{merge_digests, Trace, TraceDigest, TracePart, TraceRecorder};
+pub use slo::{qos_name, SloReport, SloRow, TenantGroup, TenantLatencies};

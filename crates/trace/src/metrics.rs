@@ -144,7 +144,7 @@ impl Mergeable for MetricsRegistry {
 pub struct TraceTotals {
     /// Kernel dispatches per [`DispatchKind`] (indexed by
     /// [`DispatchKind::index`]).
-    pub dispatches: [u64; 8],
+    pub dispatches: [u64; 9],
     /// Data-write RESET pulses.
     pub data_pulses: u64,
     /// Metadata write-back pulses.

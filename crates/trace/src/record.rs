@@ -24,11 +24,15 @@ pub enum DispatchKind {
     CtrlModeSwitch,
     /// Controller wake: a program-and-verify retry pulse fired.
     CtrlRetryPulse,
+    /// An open-loop service request arrived at the controller's doorstep
+    /// (never emitted on the closed-loop path, so legacy digests are
+    /// unaffected).
+    RequestArrival,
 }
 
 impl DispatchKind {
     /// Every kind, in counter order.
-    pub const ALL: [DispatchKind; 8] = [
+    pub const ALL: [DispatchKind; 9] = [
         DispatchKind::CoreWake,
         DispatchKind::ReadComplete,
         DispatchKind::CtrlWorkArrived,
@@ -37,6 +41,7 @@ impl DispatchKind {
         DispatchKind::CtrlDepReady,
         DispatchKind::CtrlModeSwitch,
         DispatchKind::CtrlRetryPulse,
+        DispatchKind::RequestArrival,
     ];
 
     /// Stable index into per-kind counter arrays.
@@ -50,6 +55,7 @@ impl DispatchKind {
             DispatchKind::CtrlDepReady => 5,
             DispatchKind::CtrlModeSwitch => 6,
             DispatchKind::CtrlRetryPulse => 7,
+            DispatchKind::RequestArrival => 8,
         }
     }
 
@@ -64,6 +70,7 @@ impl DispatchKind {
             DispatchKind::CtrlDepReady => "dep-ready",
             DispatchKind::CtrlModeSwitch => "mode-switch",
             DispatchKind::CtrlRetryPulse => "retry-pulse",
+            DispatchKind::RequestArrival => "request-arrival",
         }
     }
 }

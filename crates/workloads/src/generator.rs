@@ -4,6 +4,7 @@
 use crate::data::{generate_line, DataSpec, PagePattern};
 use crate::profile::BenchmarkProfile;
 use crate::rng::SplitMix64;
+use crate::service::{ArrivalProcess, ClosedLoop, Pacing};
 use ladder_cpu::{MemEvent, TraceOp, TraceSource};
 use ladder_reram::{LineAddr, LINES_PER_WLG};
 use std::collections::VecDeque;
@@ -43,7 +44,7 @@ pub struct WorkloadGen {
     current_slot: u64,
     recent_pages: VecDeque<u64>,
     events_left: u64,
-    mean_gap: f64,
+    arrivals: ClosedLoop,
     write_prob: f64,
 }
 
@@ -66,7 +67,7 @@ impl WorkloadGen {
     ) -> Self {
         assert!(page_limit > 0, "page window must be nonempty");
         let page_count = profile.working_set_pages.min(page_limit);
-        let mean_gap = 1000.0 / (profile.rpki + profile.wpki);
+        let arrivals = ClosedLoop::new(1000.0 / (profile.rpki + profile.wpki));
         let write_prob = profile.wpki / (profile.rpki + profile.wpki);
         Self {
             rng: SplitMix64::new(seed),
@@ -77,7 +78,7 @@ impl WorkloadGen {
             current_slot: 0,
             recent_pages: VecDeque::new(),
             events_left: memory_events,
-            mean_gap,
+            arrivals,
             write_prob,
             profile,
         }
@@ -153,7 +154,12 @@ impl TraceSource for WorkloadGen {
             return None;
         }
         self.events_left -= 1;
-        let gap_instructions = self.rng.next_gap(self.mean_gap);
+        // The closed-loop process draws exactly the one gap value the
+        // inline `next_gap` call always drew, keeping the stream (and the
+        // golden digests downstream) byte-identical.
+        let gap_instructions = match self.arrivals.next_pacing(&mut self.rng) {
+            Pacing::Compute(gap) | Pacing::Delay(gap) => gap,
+        };
         let addr = self.advance_address();
         let op = if self.rng.next_f64() < self.write_prob {
             let spec = DataSpec {

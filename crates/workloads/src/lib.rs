@@ -23,10 +23,15 @@ mod data;
 mod generator;
 mod profile;
 mod rng;
+pub mod service;
 mod trace_io;
 
 pub use data::{generate_line, DataSpec, PagePattern};
 pub use generator::WorkloadGen;
 pub use profile::{profile_of, BenchmarkProfile, MIXES, SINGLE_BENCHMARKS};
 pub use rng::SplitMix64;
+pub use service::{
+    ArrivalProcess, BurstyArrivals, ClosedLoop, KeyPopularity, Pacing, PoissonArrivals, QosClass,
+    ServiceGen, ServiceRequest, Tenant, TenantMix, UniformKeys, ZipfianKeys,
+};
 pub use trace_io::{load_trace, parse_trace, record_trace, serialize_trace};

@@ -29,6 +29,7 @@ bench-check:
 regen-golden:
     GOLDEN_REGEN=1 cargo test -q --offline --test golden_trace -- --nocapture
     GOLDEN_REGEN=1 cargo test -q --offline --test shard_determinism -- --nocapture
+    GOLDEN_REGEN=1 cargo test -q --offline --test service_determinism -- --nocapture
 
 # Sharded scale-out smoke: the interleave sweep (merged trace digests
 # included) must be bit-identical across worker counts.
@@ -48,7 +49,13 @@ main-eval jobs="4":
 smoke:
     cargo build --release -p ladder-bench --offline
     for bin in fig2 fig4b fig11 fig15 main_eval lifetime variability tables \
-               ablations crash mna_table extension faults interleave; do \
+               ablations crash mna_table extension faults interleave service; do \
         echo "-> $bin"; \
         ./target/release/$bin --quick --jobs 2 >/dev/null; \
     done
+
+# Open-loop tail-latency SLO sweep: offered load x arrival process x
+# scheme, per-tenant p50/p99/p999 report per cell (see EXPERIMENTS.md).
+# Extra flags pass through, e.g. `just slo "--load 2,8 --tenants 5"`.
+slo extra="":
+    cargo run --release -p ladder-bench --bin service --offline -- --quick {{extra}}

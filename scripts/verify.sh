@@ -39,7 +39,7 @@ cargo test -q -p ladder-bench --benches --offline
 # (arg parsing, figure assembly, the event kernel under each scheme).
 echo "==> smoke: ladder-bench binaries (--quick --jobs 2)"
 for bin in fig2 fig4b fig11 fig15 main_eval lifetime variability tables \
-           ablations crash mna_table extension faults interleave; do
+           ablations crash mna_table extension faults interleave service; do
     echo "  -> $bin"
     ./target/release/"$bin" --quick --jobs 2 >/dev/null
 done
@@ -69,5 +69,21 @@ echo "$shard_seq" | grep -q 'digest' || {
     exit 1
 }
 cargo test -q --offline --test shard_determinism >/dev/null
+
+# Open-loop service gate: the SLO sweep (per-tenant tail quantiles and
+# the merged service-trace digest) must be bit-identical across worker
+# counts, and the service golden digest must match tests/golden/.
+echo "==> service smoke: open-loop SLO sweep jobs-invariance + service golden check"
+svc_seq=$(./target/release/service --quick --topology 2x2 --jobs 1 2>/dev/null)
+svc_par=$(./target/release/service --quick --topology 2x2 --jobs 4 2>/dev/null)
+if [ "$svc_seq" != "$svc_par" ]; then
+    echo "error: open-loop service sweep diverged between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+echo "$svc_seq" | grep -q 'p99/ns' || {
+    echo "error: service sweep emitted no SLO reports" >&2
+    exit 1
+}
+cargo test -q --offline --test service_determinism >/dev/null
 
 echo "verify: OK"

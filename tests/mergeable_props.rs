@@ -4,11 +4,11 @@
 //! per-worker parts equals the sequential fold — the reason `--jobs N`
 //! reports the same aggregates as `--jobs 1`.
 
-use ladder::reram::{Instant, Picos};
+use ladder::reram::{Instant, Picos, Topology};
 use ladder::sim::EventCounts;
 use ladder::trace::{
-    fold, DispatchKind, LatencyHistogram, Mergeable, MetricsRegistry, TraceRecord, TraceRecorder,
-    TraceTotals,
+    fold, DispatchKind, LatencyHistogram, Mergeable, MetricsRegistry, TenantLatencies, TraceRecord,
+    TraceRecorder, TraceTotals,
 };
 use proptest::prelude::*;
 
@@ -45,7 +45,7 @@ fn arb_hist() -> impl Strategy<Value = LatencyHistogram> {
 }
 
 fn arb_counts() -> impl Strategy<Value = EventCounts> {
-    prop::collection::vec(0u64..1 << 32, 8).prop_map(|v| EventCounts {
+    prop::collection::vec(0u64..1 << 32, 9).prop_map(|v| EventCounts {
         core_wake: v[0],
         read_complete: v[1],
         ctrl_work_arrived: v[2],
@@ -54,6 +54,25 @@ fn arb_counts() -> impl Strategy<Value = EventCounts> {
         ctrl_dep_ready: v[5],
         ctrl_mode_switch: v[6],
         ctrl_retry_pulse: v[7],
+        request_arrival: v[8],
+    })
+}
+
+/// Per-tenant latency groups over a tiny tenant space so merges collide.
+fn arb_tenants() -> impl Strategy<Value = TenantLatencies> {
+    let entry = (0usize..3, 0u64..1 << 40, any::<bool>());
+    prop::collection::vec(entry, 0..24).prop_map(|entries| {
+        const NAMES: [&str; 3] = ["t0", "t1", "t2"];
+        let mut t = TenantLatencies::default();
+        for (k, sample, is_read) in entries {
+            t.ensure(NAMES[k], (k as u64 + 1) * 1000, k as u64 + 1);
+            if is_read {
+                t.record_read(NAMES[k], Picos::from_ps(sample));
+            } else {
+                t.note_write(NAMES[k]);
+            }
+        }
+        t
     })
 }
 
@@ -164,6 +183,49 @@ proptest! {
     #[test]
     fn trace_totals_obey_the_merge_laws(a in arb_totals(), b in arb_totals(), c in arb_totals()) {
         assert_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn tenant_latencies_obey_the_merge_laws(a in arb_tenants(), b in arb_tenants(), c in arb_tenants()) {
+        assert_laws(&a, &b, &c);
+    }
+
+    /// The SLO quantiles read off a sharded fold equal the quantiles of
+    /// the concatenated sample stream: partitioning reads across shards
+    /// and merging the per-shard histograms loses nothing a percentile
+    /// query can see.
+    #[test]
+    fn folded_histogram_quantiles_match_the_concatenated_stream(
+        samples in prop::collection::vec(0u64..1 << 40, 1..96),
+        shards in 1usize..6,
+    ) {
+        let mut whole = LatencyHistogram::default();
+        for &s in &samples {
+            whole.record(Picos::from_ps(s));
+        }
+
+        let mut parts = vec![LatencyHistogram::default(); shards];
+        for (i, &s) in samples.iter().enumerate() {
+            parts[i % shards].record(Picos::from_ps(s));
+        }
+        let folded: LatencyHistogram = fold(parts);
+
+        for q in [0.5, 0.99, 0.999] {
+            prop_assert_eq!(folded.percentile(q), whole.percentile(q), "q = {}", q);
+        }
+        prop_assert_eq!(folded.mean(), whole.mean());
+        prop_assert_eq!(folded.max(), whole.max());
+        prop_assert_eq!(folded.count(), whole.count());
+    }
+
+    /// `Topology`'s `Display` output parses back to the same value — the
+    /// contract `--topology CxR` round-trips through logs and golden
+    /// files.
+    #[test]
+    fn topology_display_parse_round_trips(channels in 1usize..64, ranks in 1usize..16) {
+        let t = Topology::new(channels, ranks).expect("nonzero dimensions");
+        let shown = t.to_string();
+        prop_assert_eq!(shown.parse::<Topology>().expect("display output parses"), t);
     }
 
     /// A sharded fold over any partition equals the sequential fold — the
