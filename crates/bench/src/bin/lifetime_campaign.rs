@@ -1,0 +1,48 @@
+//! Extension — multi-year device-lifetime campaign: write-skew × raw BER
+//! × remap backend × code scheme, every cell a sharded open-loop run.
+//!
+//! Emits one CSV row per cell on stdout (device-years plus p50/p99 read
+//! latency, coding counters and parity write amplification); progress and
+//! runner statistics go to stderr so the CSV pipes clean. The sweep is
+//! bit-reproducible at any `--jobs` (the sharded runner folds shards in
+//! submission order).
+//!
+//! `--zipf T` restricts the sweep to one skew, `--load L` overrides the
+//! offered load, `--topology CxR` reshapes the shard fan-out, and
+//! `--quick` scales the per-cell request count down to smoke-run size.
+
+use ladder_bench::{report_runner, BenchArgs};
+use ladder_sim::experiments::{lifetime_campaign, CampaignRow, CampaignSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let cfg = args.cfg.clone();
+    let runner = args.runner();
+    let mut spec = CampaignSpec::standard(args.quick);
+    if let Some(t) = args.topology {
+        spec.topology = t;
+    }
+    if let Some(z) = args.zipf {
+        spec.skews = vec![z];
+    }
+    if let Some(&load) = args.load.first() {
+        spec.load = load;
+    }
+    eprintln!(
+        "Lifetime campaign — {} cells ({} skews x {} BERs x {} remaps x {} schemes), \
+         topology {}, {} requests/shard/cell",
+        spec.cells(),
+        spec.skews.len(),
+        spec.bers.len(),
+        spec.remaps.len(),
+        spec.codings.len(),
+        spec.topology,
+        spec.requests
+    );
+    println!("{}", CampaignRow::CSV_HEADER);
+    for row in lifetime_campaign(&cfg, &spec, &runner) {
+        println!("{}", row.csv_line());
+    }
+    report_runner(&runner);
+    args.emit_trace_if_requested(&cfg);
+}

@@ -16,6 +16,7 @@
 //! | `faults` | Extension — raw BER sweep: P&V retries, ECC, data loss |
 //! | `interleave` | Extension — striping-policy sweep over a sharded topology |
 //! | `service` | Extension — open-loop tail-latency SLO sweep (load × arrival × scheme) |
+//! | `lifetime_campaign` | Extension — device-lifetime CSV (skew × BER × remap × code scheme) |
 //!
 //! Every binary parses the same command line through [`BenchArgs`]:
 //! strict by default (unknown flags exit with the usage message, and a

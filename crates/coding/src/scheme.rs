@@ -1,0 +1,393 @@
+//! Code schemes over the location channel: what the ECC layer corrects
+//! per line, and what the parity costs in write amplification.
+
+use crate::channel::{LocationChannel, LINE_BITS};
+use std::fmt;
+use std::str::FromStr;
+
+/// BCH parity bits per corrected bit over a 512-bit payload
+/// (`n ≤ 2^m − 1` with `m = 10`).
+const BCH_PARITY_PER_T: u32 = 10;
+
+/// Parity bits of one single-error-correcting local group (Hamming-style
+/// over a 64-bit group).
+const LOCAL_PARITY_PER_T: u32 = 7;
+
+/// Local groups per line in the locally-rewritable model.
+const LOCAL_GROUPS: u32 = 8;
+
+/// Smallest raw BER a channel-derived budget is designed against, so an
+/// inert (rate-0) run still gets a well-formed (minimal) code.
+const MIN_DESIGN_BER: f64 = 1e-5;
+
+/// Residual-uncorrectable target the channel-derived budgets are sized
+/// for: the Poisson tail beyond the budget must fall below this.
+const TARGET_UBER: f64 = 1e-9;
+
+/// Smallest `t` such that `P(X > t) ≤ target` for `X ~ Poisson(lambda)` —
+/// the correction depth a tier needs at raw error rate λ.
+fn budget_for(lambda: f64, target: f64) -> u32 {
+    let mut pmf = (-lambda).exp();
+    let mut cdf = pmf;
+    let mut t = 0u32;
+    while 1.0 - cdf > target && t < LINE_BITS {
+        t += 1;
+        pmf *= lambda / f64::from(t);
+        cdf += pmf;
+    }
+    t.max(1)
+}
+
+/// A per-line correction code over the location channel.
+///
+/// A scheme answers three questions the fault stack asks: how many
+/// residual failed bits this line's code can absorb
+/// ([`correctable_bits`](CodeScheme::correctable_bits)), which protection
+/// tier the line sits in (for tiered schemes), and what the parity
+/// overhead costs in write amplification. Schemes may also shape the
+/// program-and-verify escalation schedule — a tiered code protecting a
+/// margin-poor region can afford gentler pulses there and escalate harder
+/// where its budget is thin.
+pub trait CodeScheme: fmt::Debug + Send {
+    /// Scheme name for reports and CSV cells.
+    fn name(&self) -> &'static str;
+
+    /// Residual failed bits the line's code corrects.
+    fn correctable_bits(&self, addr: ladder_reram::LineAddr) -> u32;
+
+    /// Protection tier of the line, for tiered schemes (`None` when the
+    /// scheme is uniform — the flat default emits no tier records, which
+    /// keeps legacy golden digests byte-identical).
+    fn tier(&self, _addr: ladder_reram::LineAddr) -> Option<u32> {
+        None
+    }
+
+    /// Parity write amplification: extra physical bits written per data
+    /// bit (e.g. `0.125` = 12.5 % overhead).
+    fn write_amplification(&self) -> f64;
+
+    /// Retry-escalation percentage for a P&V retry at `addr`, given the
+    /// configured base percentage. The default leaves the schedule
+    /// untouched (byte-identical to the pre-coding fault stack).
+    fn escalation_pct(&self, base_pct: u32, _addr: ladder_reram::LineAddr) -> u32 {
+        base_pct
+    }
+}
+
+/// Today's uniform SEC-DED-style budget: every line gets the same
+/// correction depth, regardless of position.
+///
+/// This is the byte-compatible default — a run with `FlatEcc` over the
+/// channel reproduces the pre-coding fault stack bit-for-bit (same
+/// budget comparison, same escalation schedule, no tier records).
+#[derive(Debug, Clone, Copy)]
+pub struct FlatEcc {
+    bits: u32,
+}
+
+impl FlatEcc {
+    /// A flat budget of `bits` correctable bits per line (the fault
+    /// config's `ecc_correctable_bits`).
+    pub fn new(bits: u32) -> Self {
+        Self { bits }
+    }
+}
+
+impl CodeScheme for FlatEcc {
+    fn name(&self) -> &'static str {
+        "flat-ecc"
+    }
+
+    fn correctable_bits(&self, _addr: ladder_reram::LineAddr) -> u32 {
+        self.bits
+    }
+
+    fn write_amplification(&self) -> f64 {
+        // Eight 8 B SEC-DED words per line, 8 parity bits each.
+        64.0 / f64::from(LINE_BITS)
+    }
+}
+
+/// Position-tiered BCH-style budgets: the module is split into three
+/// position tiers by IR-drop margin, and each tier's correction depth is
+/// sized from the channel so the Poisson tail of raw errors beyond the
+/// budget falls below a fixed residual-UBER target. Far, margin-poor
+/// tiers carry deeper (more expensive) codes; near tiers get away with
+/// shallow ones — the coding-layer mirror of LADDER's latency argument.
+#[derive(Debug, Clone)]
+pub struct TieredBch {
+    channel: LocationChannel,
+    /// Position-margin upper bounds of tiers 0 and 1 (tier 2 runs to 1).
+    thresholds: [f64; 2],
+    /// Correction depth per tier.
+    budgets: [u32; 3],
+}
+
+impl TieredBch {
+    /// Derives tier thresholds and budgets from the channel at design
+    /// rate `base_ber`.
+    pub fn from_channel(channel: LocationChannel, base_ber: f64) -> Self {
+        let ber = base_ber.max(MIN_DESIGN_BER);
+        let floor = channel.position_margin_floor();
+        let span = (1.0 - floor).max(f64::EPSILON);
+        let thresholds = [floor + span / 3.0, floor + 2.0 * span / 3.0];
+        // Each tier is sized against its own worst-case margin.
+        let reps = [thresholds[0], thresholds[1], 1.0];
+        let budgets = reps.map(|m| budget_for(channel.expected_errors(ber, m), TARGET_UBER));
+        Self {
+            channel,
+            thresholds,
+            budgets,
+        }
+    }
+
+    /// The per-tier correction depths (tier 0 = near, tier 2 = far).
+    pub fn budgets(&self) -> [u32; 3] {
+        self.budgets
+    }
+
+    fn tier_of(&self, addr: ladder_reram::LineAddr) -> u32 {
+        let pm = self.channel.position_margin(addr);
+        if pm <= self.thresholds[0] {
+            0
+        } else if pm <= self.thresholds[1] {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+impl CodeScheme for TieredBch {
+    fn name(&self) -> &'static str {
+        "tiered-bch"
+    }
+
+    fn correctable_bits(&self, addr: ladder_reram::LineAddr) -> u32 {
+        self.budgets[self.tier_of(addr) as usize]
+    }
+
+    fn tier(&self, addr: ladder_reram::LineAddr) -> Option<u32> {
+        Some(self.tier_of(addr))
+    }
+
+    fn write_amplification(&self) -> f64 {
+        let parity: u32 = self.budgets.iter().map(|t| t * BCH_PARITY_PER_T).sum();
+        f64::from(parity) / 3.0 / f64::from(LINE_BITS)
+    }
+
+    fn escalation_pct(&self, base_pct: u32, addr: ladder_reram::LineAddr) -> u32 {
+        // Thin-budget (near) tiers escalate harder: the code cannot
+        // absorb what an under-driven retry leaves behind. The far tier
+        // keeps the configured schedule.
+        base_pct + 25 * (2 - self.tier_of(addr))
+    }
+}
+
+/// A locally-rewritable-code model: the line is split into eight 64-bit
+/// groups, each carrying its own shallow single/multi-error-correcting
+/// local code, so a residual error is repaired by rewriting one group
+/// instead of the whole line. Correction depth per group is derived from
+/// the channel at the worst-case margin; parity cost stays low because
+/// local codes are short.
+#[derive(Debug, Clone)]
+pub struct LocalRewrite {
+    /// Correctable bits per 64-bit local group.
+    per_group: u32,
+}
+
+impl LocalRewrite {
+    /// Derives the per-group depth from the channel at design rate
+    /// `base_ber`.
+    pub fn from_channel(channel: LocationChannel, base_ber: f64) -> Self {
+        let ber = base_ber.max(MIN_DESIGN_BER);
+        // One group sees 1/LOCAL_GROUPS of the line's raw errors.
+        let lambda = channel.expected_errors(ber, 1.0) / f64::from(LOCAL_GROUPS);
+        Self {
+            per_group: budget_for(lambda, TARGET_UBER),
+        }
+    }
+
+    /// Correctable bits per local group.
+    pub fn per_group(&self) -> u32 {
+        self.per_group
+    }
+}
+
+impl CodeScheme for LocalRewrite {
+    fn name(&self) -> &'static str {
+        "local-rewrite"
+    }
+
+    fn correctable_bits(&self, _addr: ladder_reram::LineAddr) -> u32 {
+        // Residues spread across groups; the line survives as long as no
+        // group exceeds its local depth. The budget exposed to the
+        // resolve path is the aggregate local capacity.
+        self.per_group * LOCAL_GROUPS
+    }
+
+    fn write_amplification(&self) -> f64 {
+        f64::from(LOCAL_GROUPS * LOCAL_PARITY_PER_T * self.per_group) / f64::from(LINE_BITS)
+    }
+}
+
+/// Which code scheme a run installs — the `SimConfig` / CLI spelling of
+/// the [`CodeScheme`] implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodingKind {
+    /// Uniform SEC-DED budget (today's behaviour, byte-compatible).
+    Flat,
+    /// Position-tiered BCH-style budgets derived from the channel.
+    TieredBch,
+    /// Locally-rewritable-code model (per-group repair).
+    LocalRewrite,
+}
+
+impl CodingKind {
+    /// Every kind, in sweep order.
+    pub const ALL: [CodingKind; 3] = [
+        CodingKind::Flat,
+        CodingKind::TieredBch,
+        CodingKind::LocalRewrite,
+    ];
+
+    /// Display name (also the `--coding` spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            CodingKind::Flat => "flat-ecc",
+            CodingKind::TieredBch => "tiered-bch",
+            CodingKind::LocalRewrite => "local-rewrite",
+        }
+    }
+
+    /// Builds the scheme over `channel`. `flat_bits` is the uniform
+    /// budget of the flat default; `base_ber` is the raw design rate the
+    /// channel-derived schemes size their budgets against.
+    pub fn build(
+        self,
+        channel: LocationChannel,
+        flat_bits: u32,
+        base_ber: f64,
+    ) -> Box<dyn CodeScheme> {
+        match self {
+            CodingKind::Flat => Box::new(FlatEcc::new(flat_bits)),
+            CodingKind::TieredBch => Box::new(TieredBch::from_channel(channel, base_ber)),
+            CodingKind::LocalRewrite => Box::new(LocalRewrite::from_channel(channel, base_ber)),
+        }
+    }
+}
+
+impl fmt::Display for CodingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for CodingKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "flat-ecc" | "flat" => Ok(CodingKind::Flat),
+            "tiered-bch" | "tiered" => Ok(CodingKind::TieredBch),
+            "local-rewrite" | "lrc" => Ok(CodingKind::LocalRewrite),
+            other => Err(format!(
+                "unknown coding scheme `{other}` (flat-ecc|tiered-bch|local-rewrite)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladder_reram::{AddressMap, Decoded, Geometry, LineAddr};
+    use ladder_xbar::{TableConfig, TimingTable};
+
+    fn channel() -> LocationChannel {
+        let table = TimingTable::generate(&TableConfig::ladder_default()).expect("table");
+        LocationChannel::new(table, AddressMap::new(Geometry::default()))
+    }
+
+    fn at_corner(ch: &LocationChannel, wordline: usize, block_slot: usize) -> LineAddr {
+        ch.map().encode(&Decoded {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            mat_group: 0,
+            wordline,
+            block_slot,
+        })
+    }
+
+    #[test]
+    fn budget_grows_with_lambda_and_floors_at_one() {
+        assert_eq!(budget_for(0.0, 1e-9), 1);
+        let small = budget_for(0.01, 1e-9);
+        let big = budget_for(2.0, 1e-9);
+        assert!(big > small, "{big} vs {small}");
+        assert!(big < LINE_BITS);
+    }
+
+    #[test]
+    fn flat_ecc_is_uniform() {
+        let s = FlatEcc::new(8);
+        let ch = channel();
+        let near = at_corner(&ch, 0, 0);
+        let far = at_corner(&ch, 511, 63);
+        assert_eq!(s.correctable_bits(near), 8);
+        assert_eq!(s.correctable_bits(far), 8);
+        assert_eq!(s.tier(near), None);
+        assert_eq!(s.escalation_pct(50, far), 50, "flat keeps the schedule");
+        assert!(s.write_amplification() > 0.0);
+    }
+
+    #[test]
+    fn tiered_budgets_deepen_toward_the_far_corner() {
+        let ch = channel();
+        let s = TieredBch::from_channel(ch.clone(), 2e-3);
+        let b = s.budgets();
+        assert!(b[0] <= b[1] && b[1] <= b[2], "{b:?}");
+        assert!(b[2] > 1, "far tier must be sized against real pressure");
+        let near = at_corner(&ch, 0, 0);
+        let far = at_corner(&ch, 511, 63);
+        assert_eq!(s.tier(near), Some(0));
+        assert_eq!(s.tier(far), Some(2));
+        assert!(s.correctable_bits(far) >= s.correctable_bits(near));
+        // Thin-budget near tier escalates hardest.
+        assert!(s.escalation_pct(50, near) > s.escalation_pct(50, far));
+        assert_eq!(s.escalation_pct(50, far), 50);
+    }
+
+    #[test]
+    fn local_rewrite_scales_with_design_rate() {
+        let ch = channel();
+        let light = LocalRewrite::from_channel(ch.clone(), 1e-5);
+        let heavy = LocalRewrite::from_channel(ch, 5e-2);
+        assert!(heavy.per_group() >= light.per_group());
+        assert!(heavy.correctable_bits(LineAddr::new(0)) >= 8);
+        assert!(heavy.write_amplification() > light.write_amplification() - 1e-12);
+        // Local codes stay cheaper than a line-wide BCH of similar depth.
+        assert!(light.write_amplification() < 0.25);
+    }
+
+    #[test]
+    fn kind_round_trips_and_rejects_garbage() {
+        for k in CodingKind::ALL {
+            assert_eq!(k.name().parse::<CodingKind>().unwrap(), k);
+            assert_eq!(format!("{k}"), k.name());
+        }
+        assert!("tiered".parse::<CodingKind>().is_ok(), "short alias");
+        assert!("hamming".parse::<CodingKind>().is_err());
+    }
+
+    #[test]
+    fn kind_build_dispatches() {
+        let ch = channel();
+        for k in CodingKind::ALL {
+            let s = k.build(ch.clone(), 8, 1e-3);
+            assert_eq!(s.name(), k.name());
+            assert!(s.correctable_bits(LineAddr::new(0)) >= 1);
+        }
+    }
+}

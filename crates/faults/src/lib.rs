@@ -100,15 +100,41 @@ impl FaultConfig {
         }
     }
 
+    /// Default stuck-at/transient rate ratio used by [`Self::with_ber`]:
+    /// simulated runs are ~10^5 writes, not the 10^7 a device endures, so
+    /// the stuck-at channel is scaled up 20× relative to the transient BER
+    /// to make wear-out observable inside a simulation window. Campaigns
+    /// that sweep the ratio use [`Self::with_ber_ratio`] directly.
+    pub const DEFAULT_STUCK_RATIO: f64 = 20.0;
+
     /// A configuration exercising both fault classes at the given raw
-    /// transient bit-error rate (stuck-at arrival is scaled to become
-    /// visible at simulation timescales).
+    /// transient bit-error rate, with stuck-at arrival scaled by
+    /// [`Self::DEFAULT_STUCK_RATIO`].
     pub fn with_ber(seed: u64, ber: f64) -> Self {
+        Self::with_ber_ratio(seed, ber, Self::DEFAULT_STUCK_RATIO)
+    }
+
+    /// Like [`Self::with_ber`] but with an explicit stuck-at ratio:
+    /// `stuck_rate = ber × stuck_ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` or `stuck_ratio` is negative, NaN, or infinite —
+    /// a non-finite rate would silently disable whole fault channels
+    /// (every `unit(h) < p` comparison is false against NaN), so it is
+    /// rejected at construction.
+    pub fn with_ber_ratio(seed: u64, ber: f64, stuck_ratio: f64) -> Self {
+        assert!(
+            ber.is_finite() && ber >= 0.0,
+            "transient BER must be finite and non-negative, got {ber}"
+        );
+        assert!(
+            stuck_ratio.is_finite() && stuck_ratio >= 0.0,
+            "stuck ratio must be finite and non-negative, got {stuck_ratio}"
+        );
         Self {
             transient_ber: ber,
-            // Simulated runs are ~10^5 writes, not 10^7: scale the
-            // stuck-at channel so wear-out is observable in-window.
-            stuck_rate: ber * 20.0,
+            stuck_rate: ber * stuck_ratio,
             endurance: 1_000,
             ..Self::new(seed)
         }
@@ -123,5 +149,44 @@ impl FaultConfig {
 impl Default for FaultConfig {
     fn default() -> Self {
         Self::new(2021)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_ber_uses_the_documented_default_ratio() {
+        let cfg = FaultConfig::with_ber(7, 1e-3);
+        let explicit = FaultConfig::with_ber_ratio(7, 1e-3, FaultConfig::DEFAULT_STUCK_RATIO);
+        assert_eq!(cfg, explicit);
+        assert!((cfg.stuck_rate - 2e-2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_ratio_scales_the_stuck_channel() {
+        let cfg = FaultConfig::with_ber_ratio(7, 1e-3, 5.0);
+        assert!((cfg.stuck_rate - 5e-3).abs() < 1e-12);
+        let inert = FaultConfig::with_ber_ratio(7, 0.0, 5.0);
+        assert!(inert.is_inert());
+    }
+
+    #[test]
+    #[should_panic(expected = "transient BER must be finite")]
+    fn nan_ber_is_rejected() {
+        let _ = FaultConfig::with_ber(1, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "transient BER must be finite")]
+    fn negative_ber_is_rejected() {
+        let _ = FaultConfig::with_ber(1, -1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck ratio must be finite")]
+    fn infinite_ratio_is_rejected() {
+        let _ = FaultConfig::with_ber_ratio(1, 1e-3, f64::INFINITY);
     }
 }

@@ -22,9 +22,10 @@
 //! thread count — the property the `--jobs`-determinism tests pin down.
 
 use crate::FaultConfig;
-use ladder_memctrl::FaultInjector;
-use ladder_reram::{line_ones, AddressMap, LineAddr, LineData, LineStore, Picos, LINE_BYTES};
-use ladder_wear::{SharedRetirePool, WearMap};
+use ladder_coding::{CodeScheme, CodingKind, CodingStats, FlatEcc, LocationChannel};
+use ladder_memctrl::{FaultInjector, Resolution};
+use ladder_reram::{AddressMap, LineAddr, LineData, LineStore, Picos, LINE_BYTES};
+use ladder_wear::{RemapBackend, SharedRetirePool, WearMap};
 use ladder_xbar::TimingTable;
 use std::collections::BTreeMap;
 use std::sync::PoisonError;
@@ -103,18 +104,27 @@ impl ladder_trace::Mergeable for FaultStats {
 }
 
 /// The per-cell fault model (see the module docs for the two channels).
+///
+/// The raw error pressure comes from a [`LocationChannel`]; a
+/// [`CodeScheme`] decides what the per-line correction budget (and retry
+/// escalation) looks like at each position; an optional [`RemapBackend`]
+/// moves faulty pages out of service. The defaults — flat ECC at
+/// `ecc_correctable_bits` and no backend — reproduce the pre-coding-layer
+/// behaviour bit-for-bit.
 #[derive(Debug)]
 pub struct CellFaultModel {
     cfg: FaultConfig,
-    table: TimingTable,
-    map: AddressMap,
-    worst_ps: u64,
+    /// Location-dependent raw error channel (the IR-drop margin proxy).
+    channel: LocationChannel,
+    /// The correction scheme facing the channel.
+    scheme: Box<dyn CodeScheme>,
     /// Per-line endurance consumed, fed by the pulses this model observes.
     wear: WearMap,
     /// Stuck cells accumulated per page, for the retirement threshold.
     page_stuck: BTreeMap<u64, u32>,
-    retire: Option<SharedRetirePool>,
+    remap: Option<RemapBackend>,
     stats: FaultStats,
+    coding: CodingStats,
 }
 
 impl CellFaultModel {
@@ -122,31 +132,68 @@ impl CellFaultModel {
     /// proxy) and address map. The table should be the full
     /// location+content LADDER table regardless of the scheme under test:
     /// it describes the *device*, not the controller's policy, so every
-    /// scheme faces identical raw fault pressure.
+    /// scheme faces identical raw fault pressure. The correction layer
+    /// starts as flat ECC at `cfg.ecc_correctable_bits`; see
+    /// [`Self::with_coding`].
     pub fn new(cfg: FaultConfig, table: TimingTable, map: AddressMap) -> Self {
-        let worst_ps = table.worst_ps().max(1);
+        let channel = LocationChannel::new(table, map);
+        let scheme: Box<dyn CodeScheme> = Box::new(FlatEcc::new(cfg.ecc_correctable_bits));
+        let coding = CodingStats {
+            wa_millionths: (scheme.write_amplification() * 1e6).round() as u64,
+            ..CodingStats::default()
+        };
         Self {
             cfg,
-            table,
-            map,
-            worst_ps,
+            channel,
+            scheme,
             wear: WearMap::new(),
             page_stuck: BTreeMap::new(),
-            retire: None,
+            remap: None,
             stats: FaultStats::default(),
+            coding,
         }
     }
 
-    /// Wires in the retire-and-remap pool uncorrectable or stuck-saturated
-    /// pages are retired into.
-    pub fn with_retire_pool(mut self, pool: SharedRetirePool) -> Self {
-        self.retire = Some(pool);
+    /// Replaces the correction layer with `kind`, derived from the model's
+    /// channel at the configured transient BER. [`CodingKind::Flat`]
+    /// rebuilds the byte-compatible default.
+    pub fn with_coding(mut self, kind: CodingKind) -> Self {
+        self.scheme = kind.build(
+            self.channel.clone(),
+            self.cfg.ecc_correctable_bits,
+            self.cfg.transient_ber,
+        );
+        self.coding.wa_millionths = (self.scheme.write_amplification() * 1e6).round() as u64;
         self
+    }
+
+    /// Wires in the remap backend that moves uncorrectable or
+    /// stuck-saturated pages out of service.
+    pub fn with_remap_backend(mut self, backend: RemapBackend) -> Self {
+        self.remap = Some(backend);
+        self
+    }
+
+    /// Wires in a retire pool — shorthand for
+    /// [`Self::with_remap_backend`] with [`RemapBackend::Retire`], kept
+    /// for the pre-backend callers.
+    pub fn with_retire_pool(self, pool: SharedRetirePool) -> Self {
+        self.with_remap_backend(RemapBackend::Retire(pool))
     }
 
     /// Counters so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
+    }
+
+    /// Coding-layer counters so far.
+    pub fn coding_stats(&self) -> CodingStats {
+        self.coding
+    }
+
+    /// The installed scheme's name.
+    pub fn scheme_name(&self) -> &'static str {
+        self.scheme.name()
     }
 
     /// The model's endurance-consumption map.
@@ -162,13 +209,10 @@ impl CellFaultModel {
             ^ mix(u64::from(attempt).wrapping_add(salt << 32)))
     }
 
-    /// IR-drop failure margin of a write at `addr` carrying `data`: the
-    /// normalized latency the timing table demands for this (location,
-    /// content) corner, in `(0, 1]`. Far cells / LRS-heavy lines → 1.
+    /// IR-drop failure margin of a write at `addr` carrying `data` — the
+    /// channel's normalized latency requirement, in `(0, 1]`.
     fn margin(&self, addr: LineAddr, data: &LineData) -> f64 {
-        let (wl, col) = self.map.write_location(addr);
-        let need = self.table.lookup_ps(wl, col, line_ones(data) as usize);
-        need as f64 / self.worst_ps as f64
+        self.channel.margin(addr, data)
     }
 
     /// Transient failures of pulse `attempt`: a deterministic binomial
@@ -221,16 +265,35 @@ impl CellFaultModel {
         let count = self.page_stuck.entry(page).or_insert(0);
         *count += 1;
         if *count >= self.cfg.retire_stuck_threshold {
-            self.retire_page(page);
+            // Proactive retirement happens mid-program; there is no
+            // resolve to attach the move to, so the pair is dropped.
+            let _ = self.retire_page(page);
         }
     }
 
-    fn retire_page(&mut self, page: u64) {
-        let Some(pool) = &self.retire else { return };
-        match pool.retire(page) {
-            Some(true) => self.stats.retired_pages += 1,
-            Some(false) => self.stats.retire_exhausted += 1,
-            None => {} // already retired
+    /// Moves `page` out of service through the remap backend. Returns the
+    /// `(page, frame)` pair for trace records when the move came from a
+    /// non-default (PAD) backend — retire-pool moves return `None` so
+    /// default-mode record streams stay byte-identical to the
+    /// pre-backend era.
+    fn retire_page(&mut self, page: u64) -> Option<(u64, u64)> {
+        let Some(backend) = &self.remap else {
+            return None;
+        };
+        match backend.on_fault(page) {
+            Some(true) => {
+                self.stats.retired_pages += 1;
+                self.coding.remaps += 1;
+                match backend {
+                    RemapBackend::Retire(_) => None,
+                    RemapBackend::Pad(_) => Some((page, backend.frame_of(page))),
+                }
+            }
+            Some(false) => {
+                self.stats.retire_exhausted += 1;
+                None
+            }
+            None => None, // already out of service
         }
     }
 
@@ -259,6 +322,18 @@ impl FaultInjector for CellFaultModel {
         Picos::from_ps(base.as_ps() * pct / 100)
     }
 
+    fn retry_t_wr_at(&self, addr: LineAddr, base: Picos, attempt: u32) -> Picos {
+        // The scheme may escalate harder at margin-poor positions; the
+        // flat scheme returns the base percentage, keeping the legacy
+        // integer math (and digests) intact.
+        let pct = 100
+            + u64::from(
+                self.scheme
+                    .escalation_pct(self.cfg.retry_escalation_pct, addr),
+            ) * u64::from(attempt);
+        Picos::from_ps(base.as_ps() * pct / 100)
+    }
+
     fn program(
         &mut self,
         addr: LineAddr,
@@ -279,15 +354,31 @@ impl FaultInjector for CellFaultModel {
         transient + Self::stuck_conflicts(addr, &data, store)
     }
 
-    fn resolve(&mut self, addr: LineAddr, residual_bits: u32, _store: &mut LineStore) -> bool {
-        if residual_bits <= self.cfg.ecc_correctable_bits {
+    fn resolve(
+        &mut self,
+        addr: LineAddr,
+        residual_bits: u32,
+        _store: &mut LineStore,
+    ) -> Resolution {
+        let tier = self.scheme.tier(addr);
+        let corrected = residual_bits <= self.scheme.correctable_bits(addr);
+        self.coding.note_resolve(tier, residual_bits, corrected);
+        if corrected {
             self.stats.corrected_bits += u64::from(residual_bits);
-            true
+            Resolution {
+                corrected: true,
+                tier,
+                remapped: None,
+            }
         } else {
             self.stats.uncorrectable_lines += 1;
             self.stats.data_loss_bits += u64::from(residual_bits);
-            self.retire_page(addr.page());
-            false
+            let remapped = self.retire_page(addr.page());
+            Resolution {
+                corrected: false,
+                tier,
+                remapped,
+            }
         }
     }
 }
@@ -316,6 +407,11 @@ impl SharedCellFaultModel {
     pub fn stats(&self) -> FaultStats {
         self.with(CellFaultModel::stats)
     }
+
+    /// Coding-layer counters so far.
+    pub fn coding_stats(&self) -> CodingStats {
+        self.with(CellFaultModel::coding_stats)
+    }
 }
 
 impl FaultInjector for SharedCellFaultModel {
@@ -327,6 +423,10 @@ impl FaultInjector for SharedCellFaultModel {
         self.with(|m| m.retry_t_wr(base, attempt))
     }
 
+    fn retry_t_wr_at(&self, addr: LineAddr, base: Picos, attempt: u32) -> Picos {
+        self.with(|m| m.retry_t_wr_at(addr, base, attempt))
+    }
+
     fn program(&mut self, addr: LineAddr, store: &mut LineStore, attempt: u32, t_wr: Picos) -> u32 {
         self.0
             .lock()
@@ -334,7 +434,7 @@ impl FaultInjector for SharedCellFaultModel {
             .program(addr, store, attempt, t_wr)
     }
 
-    fn resolve(&mut self, addr: LineAddr, residual_bits: u32, store: &mut LineStore) -> bool {
+    fn resolve(&mut self, addr: LineAddr, residual_bits: u32, store: &mut LineStore) -> Resolution {
         self.0
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -445,13 +545,21 @@ mod tests {
         let mut m = model(FaultConfig::new(9));
         let mut store = LineStore::new();
         let a = LineAddr::new(40_000 * 64);
-        assert!(m.resolve(a, 8, &mut store), "within SEC-DED budget");
-        assert!(!m.resolve(a, 9, &mut store), "beyond budget is data loss");
+        let ok = m.resolve(a, 8, &mut store);
+        assert!(ok.corrected, "within SEC-DED budget");
+        assert_eq!(ok, Resolution::plain(true), "flat scheme adds no detail");
+        let lost = m.resolve(a, 9, &mut store);
+        assert!(!lost.corrected, "beyond budget is data loss");
+        assert_eq!(lost, Resolution::plain(false));
         let s = m.stats();
         assert_eq!(s.corrected_bits, 8);
         assert_eq!(s.uncorrectable_lines, 1);
         assert_eq!(s.data_loss_bits, 9);
         assert!(s.summary().contains("1 uncorrectable"));
+        let c = m.coding_stats();
+        assert_eq!(c.resolves[0], 2, "flat resolves land in bucket 0");
+        assert_eq!(c.total_corrected_bits(), 8);
+        assert_eq!(c.total_uncorrectable(), 1);
     }
 
     #[test]
@@ -460,14 +568,49 @@ mod tests {
         let mut m = model(FaultConfig::new(11)).with_retire_pool(pool.clone());
         let mut store = LineStore::new();
         let a = LineAddr::new(40_000 * 64 + 3);
-        assert!(!m.resolve(a, 50, &mut store));
+        let r = m.resolve(a, 50, &mut store);
+        assert!(!r.corrected);
+        assert_eq!(r.remapped, None, "retire backend emits no remap record");
         assert_eq!(m.stats().retired_pages, 1);
         // Future accesses to the page land in the spare frame.
         assert_eq!(pool.map(a).page(), 101);
         assert_eq!(pool.map(a).block_slot(), 3);
         // Retiring the same page again is a no-op.
-        assert!(!m.resolve(a, 50, &mut store));
+        assert!(!m.resolve(a, 50, &mut store).corrected);
         assert_eq!(m.stats().retired_pages, 1);
+    }
+
+    #[test]
+    fn pad_backend_surfaces_the_remap_pair() {
+        let pad = ladder_wear::SharedPadRemapper::new(vec![100, 101], 1_000_000);
+        let mut m = model(FaultConfig::new(11)).with_remap_backend(RemapBackend::Pad(pad.clone()));
+        let mut store = LineStore::new();
+        let a = LineAddr::new(40_000 * 64 + 3);
+        let r = m.resolve(a, 50, &mut store);
+        assert!(!r.corrected);
+        assert_eq!(r.remapped, Some((a.page(), 101)));
+        assert_eq!(pad.map(a).page(), 101);
+        assert_eq!(m.coding_stats().remaps, 1);
+    }
+
+    #[test]
+    fn tiered_scheme_reports_its_tier_and_escalates_harder_near() {
+        let cfg = FaultConfig {
+            transient_ber: 1e-3,
+            ..FaultConfig::new(11)
+        };
+        let mut m = model(cfg).with_coding(CodingKind::TieredBch);
+        let mut store = LineStore::new();
+        let near = LineAddr::new(0);
+        let far = LineAddr::new(40_000 * 64);
+        let r = m.resolve(far, 1, &mut store);
+        assert!(r.corrected);
+        assert!(r.tier.is_some(), "tiered scheme names its tier");
+        // Margin-thin (near) tiers escalate retry pulses harder than the
+        // generously-budgeted far tier.
+        let base = Picos::from_ps(100_000);
+        assert!(m.retry_t_wr_at(near, base, 1) >= m.retry_t_wr_at(far, base, 1));
+        assert_eq!(m.scheme_name(), "tiered-bch");
     }
 
     #[test]

@@ -1,0 +1,7 @@
+// path: crates/coding/src/example.rs
+// expect: hash-iter
+/// Iterating a `HashMap` of per-tier counters makes the folded coding
+/// statistics depend on the hasher seed.
+pub fn fold_tiers(m: &std::collections::HashMap<u8, u64>) -> u64 {
+    m.values().sum()
+}

@@ -1,0 +1,8 @@
+// path: crates/coding/src/example.rs
+use std::collections::BTreeMap;
+
+/// Per-tier counters in a `BTreeMap` iterate in key order, so the folded
+/// coding statistics are hasher-independent.
+pub fn fold_tiers(m: &BTreeMap<u8, u64>) -> u64 {
+    m.values().sum()
+}

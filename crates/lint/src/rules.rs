@@ -53,7 +53,7 @@ pub const RULES: &[RuleInfo] = &[
         name: "hash-iter",
         summary: "no HashMap/HashSet in determinism-critical code; \
                   use BTreeMap/BTreeSet or sorted iteration",
-        scope: "crates/{sim,trace,faults,wear}/src (non-test spans)",
+        scope: "crates/{sim,trace,faults,wear,coding}/src (non-test spans)",
     },
     RuleInfo {
         name: "wall-clock",
@@ -110,6 +110,7 @@ const DETERMINISM_SCOPE: &[&str] = &[
     "crates/trace/src/",
     "crates/faults/src/",
     "crates/wear/src/",
+    "crates/coding/src/",
 ];
 
 /// The only files allowed to touch the host wall clock.

@@ -88,16 +88,53 @@ pub trait FaultInjector: Send {
     /// retry more likely to stick.
     fn retry_t_wr(&self, base: Picos, attempt: u32) -> Picos;
 
+    /// Location-aware variant of [`Self::retry_t_wr`]: a coding layer may
+    /// escalate harder at margin-poor positions. The default ignores the
+    /// address, so flat injectors keep their legacy pulse widths.
+    fn retry_t_wr_at(&self, addr: LineAddr, base: Picos, attempt: u32) -> Picos {
+        let _ = addr;
+        self.retry_t_wr(base, attempt)
+    }
+
     /// Simulates program attempt `attempt` (0 = the initial pulse) of the
     /// data most recently stored at `addr`, returning how many bits failed
     /// to switch. May install permanent faults into the store's masks.
     fn program(&mut self, addr: LineAddr, store: &mut LineStore, attempt: u32, t_wr: Picos) -> u32;
 
     /// Final disposition of `residual_bits` still failing after the retry
-    /// budget: `true` if the line's correction budget covers them, `false`
-    /// if the line is uncorrectable (data loss; the injector may retire
-    /// the page).
-    fn resolve(&mut self, addr: LineAddr, residual_bits: u32, store: &mut LineStore) -> bool;
+    /// budget (the ECC / remap layer); see [`Resolution`].
+    fn resolve(&mut self, addr: LineAddr, residual_bits: u32, store: &mut LineStore) -> Resolution;
+}
+
+/// What [`FaultInjector::resolve`] did with a line's residual failed bits.
+///
+/// `corrected` carries the legacy contract (`true` = the correction budget
+/// covered the residue, `false` = data loss). The optional fields describe
+/// *how*, for trace records: `tier` is set when a tiered code resolved the
+/// line, `remapped` is `(page, frame)` when the resolve moved the page to a
+/// new physical frame. Flat-ECC + retire-backend injectors leave both
+/// `None`, keeping default-mode traces byte-identical to the boolean era.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// Whether the correction budget covered the residual bits.
+    pub corrected: bool,
+    /// Protection tier that resolved the line, when the scheme is tiered.
+    pub tier: Option<u32>,
+    /// `(page, frame)`: the faulty page and the physical frame now serving
+    /// it, when the resolve triggered a decoder remap worth tracing.
+    pub remapped: Option<(u64, u64)>,
+}
+
+impl Resolution {
+    /// A plain corrected/uncorrectable outcome with no tier or remap
+    /// detail — the legacy boolean, lifted.
+    pub fn plain(corrected: bool) -> Self {
+        Self {
+            corrected,
+            tier: None,
+            remapped: None,
+        }
+    }
 }
 
 /// Aggregate controller statistics.
@@ -984,7 +1021,7 @@ impl MemoryController {
                     self.stats.failed_verifies += 1;
                     self.stats.retries_issued += 1;
                     // The verify read precedes the retry pulse.
-                    let pulse = timing.write_latency(inj.retry_t_wr(t_wr, attempt));
+                    let pulse = timing.write_latency(inj.retry_t_wr_at(entry.addr, t_wr, attempt));
                     let pulse_start = now + lat + retry_time + timing.read_latency();
                     self.wakes.schedule(pulse_start, CtrlWake::RetryPulse);
                     self.recorder.record(
@@ -1004,7 +1041,8 @@ impl MemoryController {
                     // charged after the final pulse — nothing could act
                     // on it.
                     let resolved_at = now + lat + retry_time;
-                    if inj.resolve(entry.addr, residual, &mut self.store) {
+                    let resolution = inj.resolve(entry.addr, residual, &mut self.store);
+                    if resolution.corrected {
                         self.stats.ecc_corrected_bits += residual as u64;
                         self.recorder
                             .record(resolved_at, TraceRecord::EccCorrection { bits: residual });
@@ -1012,6 +1050,21 @@ impl MemoryController {
                         self.stats.uncorrectable_writes += 1;
                         self.recorder
                             .record(resolved_at, TraceRecord::Uncorrectable);
+                    }
+                    // Detail records only exist in non-default modes, so
+                    // default-mode digests stay byte-identical.
+                    if let Some(tier) = resolution.tier {
+                        self.recorder.record(
+                            resolved_at,
+                            TraceRecord::TierEcc {
+                                tier,
+                                bits: residual,
+                            },
+                        );
+                    }
+                    if let Some((page, frame)) = resolution.remapped {
+                        self.recorder
+                            .record(resolved_at, TraceRecord::PadRemap { page, frame });
                     }
                 }
                 self.stats.retry_time += retry_time;

@@ -33,6 +33,7 @@ mod policy;
 
 pub use controller::{
     AccessObserver, CtrlWake, FaultInjector, MemCtrlConfig, MemStats, MemoryController, ReqId,
+    Resolution,
 };
 /// The latency histogram now lives in `ladder-trace` (re-exported here
 /// for compatibility with existing callers).

@@ -17,10 +17,11 @@ use crate::experiments::{shard_trace_for, ExperimentConfig, Workload};
 use crate::scheme::Scheme;
 use crate::service::{feed_for, ServiceConfig};
 use crate::system::{RunResult, SystemBuilder};
+use ladder_coding::CodingKind;
 use ladder_faults::FaultConfig;
 use ladder_memctrl::Tables;
 use ladder_reram::{Geometry, Interleave, Topology};
-use ladder_wear::SegmentVwl;
+use ladder_wear::{RemapKind, SegmentVwl};
 
 /// Full description of one simulation: scheme, workload, topology and
 /// every run-modifying option.
@@ -62,8 +63,18 @@ pub struct SimConfig {
     /// horizontal byte rotation (Section 6.4).
     pub wear_leveling: bool,
     /// Install the device fault model (stuck-at + transient write
-    /// failures, P&V retries, ECC/retire recovery).
+    /// failures, P&V retries, ECC/remap recovery).
     pub faults: Option<FaultConfig>,
+    /// Code scheme consulted by the fault model's resolve path. The
+    /// default, [`CodingKind::Flat`], is the legacy flat-ECC budget —
+    /// byte-identical to runs predating this knob. Only meaningful when
+    /// `faults` is set.
+    pub coding: CodingKind,
+    /// Remap backend absorbing faulty pages. The default,
+    /// [`RemapKind::Retire`], is the legacy one-way retirement pool —
+    /// byte-identical to runs predating this knob. Only meaningful when
+    /// `faults` is set.
+    pub remap: RemapKind,
     /// Capture a structured trace ([`RunResult::trace`]).
     pub trace: bool,
     /// Open-loop service mode: `Some` replaces the closed-loop cores with
@@ -89,6 +100,8 @@ impl SimConfig {
                 track_wear: false,
                 wear_leveling: false,
                 faults: None,
+                coding: CodingKind::Flat,
+                remap: RemapKind::Retire,
                 trace: false,
                 service: None,
             },
@@ -165,6 +178,20 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Selects the code scheme the fault model resolves residues with
+    /// (default: the legacy flat-ECC budget).
+    pub fn coding(mut self, kind: CodingKind) -> Self {
+        self.cfg.coding = kind;
+        self
+    }
+
+    /// Selects the remap backend absorbing faulty pages (default: the
+    /// legacy one-way retirement pool).
+    pub fn remap(mut self, kind: RemapKind) -> Self {
+        self.cfg.remap = kind;
+        self
+    }
+
     /// Captures a structured trace ([`RunResult::trace`]).
     pub fn trace(mut self, on: bool) -> Self {
         self.cfg.trace = on;
@@ -218,6 +245,8 @@ pub(crate) fn builder_for(
     }
     if let Some(fcfg) = cfg.faults {
         b.faults(fcfg);
+        b.coding(cfg.coding);
+        b.remap(cfg.remap);
     }
     b.tracing(cfg.trace);
     b
@@ -272,6 +301,8 @@ mod tests {
         assert_eq!(cfg.interleave, Interleave::Channel);
         assert!(!cfg.track_exact && !cfg.track_wear && !cfg.wear_leveling);
         assert!(cfg.faults.is_none() && !cfg.trace);
+        assert_eq!(cfg.coding, CodingKind::Flat);
+        assert_eq!(cfg.remap, RemapKind::Retire);
         assert!(cfg.service.is_none());
         assert_eq!(cfg.shards(), 1);
     }
@@ -287,6 +318,8 @@ mod tests {
             .track_wear(true)
             .wear_leveling(true)
             .faults(FaultConfig::with_ber(7, 1e-5))
+            .coding(CodingKind::TieredBch)
+            .remap(RemapKind::Pad)
             .trace(true)
             .service(ServiceConfig::builder().load(6.0).build())
             .build();
@@ -295,6 +328,8 @@ mod tests {
         assert_eq!(cfg.interleave, Interleave::Page);
         assert!(cfg.track_exact && cfg.track_wear && cfg.wear_leveling && cfg.trace);
         assert!(cfg.faults.is_some());
+        assert_eq!(cfg.coding, CodingKind::TieredBch);
+        assert_eq!(cfg.remap, RemapKind::Pad);
         assert_eq!(cfg.service.unwrap().load, 6.0);
     }
 

@@ -8,11 +8,15 @@
 use crate::config::{run_sim, SimConfig};
 use crate::runner::{AloneIpcCache, Runner, RunnerStats};
 use crate::scheme::Scheme;
+use crate::service::ServiceConfig;
+use crate::shard::run_sharded;
 use crate::system::{RunResult, SystemBuilder};
+use ladder_coding::{CodingKind, CodingStats};
 use ladder_cpu::TraceSource;
 use ladder_faults::{FaultConfig, FaultStats};
 use ladder_memctrl::{standard_tables, Tables};
-use ladder_reram::{Geometry, Instant};
+use ladder_reram::{Geometry, Instant, Topology, LINES_PER_WLG};
+use ladder_wear::RemapKind;
 use ladder_workloads::{profile_of, WorkloadGen, MIXES, SINGLE_BENCHMARKS};
 use ladder_xbar::TableConfig;
 use std::sync::Arc;
@@ -1175,4 +1179,212 @@ pub fn hot_remap_extension(
         twr_ladder_ns: twr(plain),
         twr_remap_ns: twr(remapped),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Extension — multi-year lifetime campaign: skew × BER × remap × coding.
+// ---------------------------------------------------------------------------
+
+/// Mean-tropical-year seconds, for converting extrapolated device
+/// lifetimes into the figure's device-years unit.
+const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Sweep axes and scale of the multi-year lifetime campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Zipfian key-skew values (`theta` in (0,1), 0 = uniform) driving the
+    /// open-loop tenant streams — the campaign's write-skew axis.
+    pub skews: Vec<f64>,
+    /// Raw worst-corner transient bit-error rates to sweep.
+    pub bers: Vec<f64>,
+    /// Remap backends to sweep.
+    pub remaps: Vec<RemapKind>,
+    /// Code schemes to sweep.
+    pub codings: Vec<CodingKind>,
+    /// Open-loop requests per shard per cell.
+    pub requests: u64,
+    /// Offered load in requests/µs per shard.
+    pub load: f64,
+    /// Sharded topology every cell runs over.
+    pub topology: Topology,
+    /// Write scheme under test (fixed across the sweep; the campaign's
+    /// axes are the reliability knobs, not the write path).
+    pub scheme: Scheme,
+}
+
+impl CampaignSpec {
+    /// The shipped figure: 2 skews × 3 BERs × both remap backends × all
+    /// three code schemes over a 2×2 topology. `quick` scales the
+    /// per-cell request count down to smoke-run size.
+    pub fn standard(quick: bool) -> Self {
+        Self {
+            skews: vec![0.2, 0.99],
+            bers: vec![1e-4, 1e-3, 5e-3],
+            remaps: RemapKind::ALL.to_vec(),
+            codings: CodingKind::ALL.to_vec(),
+            requests: if quick { 600 } else { 8_000 },
+            load: 4.0,
+            // lint: allow(panic-policy) — static 2x2 literal is always a valid topology
+            topology: Topology::new(2, 2).expect("static 2x2 topology"),
+            scheme: Scheme::LadderEst,
+        }
+    }
+
+    /// Number of sweep cells this spec describes.
+    pub fn cells(&self) -> usize {
+        self.skews.len() * self.bers.len() * self.remaps.len() * self.codings.len()
+    }
+}
+
+/// One `(skew, BER, remap, coding)` cell of the lifetime campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    /// Zipfian key skew of the request stream.
+    pub skew: f64,
+    /// Raw worst-corner transient bit-error rate.
+    pub ber: f64,
+    /// Remap backend the cell ran with.
+    pub remap: RemapKind,
+    /// Code scheme the cell ran with.
+    pub coding: CodingKind,
+    /// Projected device lifetime in years under deployed wear-leveling:
+    /// the perfectly-leveled bound (endurance × data lines ÷ write rate)
+    /// derated by the measured wear unevenness (worst line over mean —
+    /// the concentration a leveler must fight) and by the code scheme's
+    /// parity write amplification.
+    pub device_years: f64,
+    /// The worst shard's measured wear unevenness (worst-line writes over
+    /// the mean; 1.0 = perfectly level).
+    pub unevenness: f64,
+    /// Median demand-read latency (ns) — the scheme's latency overhead
+    /// floor.
+    pub p50_read_ns: f64,
+    /// Tail demand-read latency (ns) — what retry escalation costs.
+    pub p99_read_ns: f64,
+    /// Folded coding-layer counters for the cell.
+    pub coding_stats: CodingStats,
+    /// Folded fault-model counters for the cell.
+    pub faults: FaultStats,
+}
+
+impl CampaignRow {
+    /// Column header matching [`Self::csv_line`].
+    pub const CSV_HEADER: &'static str = "skew,ber,remap,coding,device_years,unevenness,\
+p50_read_ns,p99_read_ns,corrected_bits,uncorrectable_lines,remaps,write_amplification";
+
+    /// The row as one CSV line (stable column order, no trailing newline).
+    pub fn csv_line(&self) -> String {
+        format!(
+            "{},{:e},{},{},{:.3},{:.2},{:.1},{:.1},{},{},{},{:.6}",
+            self.skew,
+            self.ber,
+            self.remap.name(),
+            self.coding.name(),
+            self.device_years,
+            self.unevenness,
+            self.p50_read_ns,
+            self.p99_read_ns,
+            self.coding_stats.total_corrected_bits(),
+            self.coding_stats.total_uncorrectable(),
+            self.coding_stats.remaps,
+            self.coding_stats.write_amplification(),
+        )
+    }
+}
+
+/// Runs the multi-year lifetime campaign: every `(skew, BER, remap,
+/// coding)` cell is one sharded open-loop run over `spec.topology` with
+/// wear tracking and the fault model installed, folded bit-reproducibly
+/// at any `--jobs`.
+///
+/// Device lifetime is projected for a deployed module: the
+/// perfectly-leveled bound `endurance × data lines ÷ device write rate`
+/// (endurance at the nominal [`FaultConfig::new`] budget, not the sweep's
+/// accelerated one), divided by the worst shard's measured wear
+/// *unevenness* (worst-line writes over the mean — the concentration a
+/// deployed leveler has to fight, which grows with skew) and by
+/// `1 + WA` for the code scheme's parity traffic (parity writes wear
+/// cells exactly like data writes).
+pub fn lifetime_campaign(
+    cfg: &ExperimentConfig,
+    spec: &CampaignSpec,
+    runner: &Runner,
+) -> Vec<CampaignRow> {
+    let tables = cfg.tables();
+    // Nominal per-cell endurance for the projection; the fault model
+    // itself runs at `with_ber`'s accelerated budget so wear-out events
+    // are observable inside the window.
+    let nominal_endurance = FaultConfig::new(cfg.seed).endurance;
+    let shard_geometry = spec.topology.shard_geometry(&Geometry::default());
+    // Writable data region: everything above the 1/16 metadata reserve.
+    let data_pages = shard_geometry.pages() as u64 * spec.topology.shards() as u64 * 15 / 16;
+    let data_lines = data_pages * LINES_PER_WLG as u64;
+    let mut rows = Vec::with_capacity(spec.cells());
+    for &skew in &spec.skews {
+        for &ber in &spec.bers {
+            for &remap in &spec.remaps {
+                for &coding in &spec.codings {
+                    let service = ServiceConfig::builder()
+                        .load(spec.load)
+                        .zipf_theta(skew)
+                        .requests(spec.requests)
+                        .build();
+                    let fcfg = FaultConfig::with_ber(cfg.seed, ber);
+                    let sim = SimConfig::builder()
+                        .scheme(spec.scheme)
+                        .service(service)
+                        .topology(spec.topology)
+                        .track_wear(true)
+                        .faults(fcfg)
+                        .coding(coding)
+                        .remap(remap)
+                        .build();
+                    let run = run_sharded(&sim, cfg, &tables, runner);
+                    // Device write rate over the run, and the worst
+                    // shard's wear concentration (the device dies at its
+                    // most uneven spot).
+                    let total_writes: u64 = run
+                        .shards
+                        .iter()
+                        .map(|r| {
+                            r.wear
+                                .as_ref()
+                                // lint: allow(panic-policy) — invariant: the campaign enables wear tracking in every config it builds
+                                .expect("campaign enables wear tracking")
+                                .with(|w| w.total_writes())
+                        })
+                        .sum();
+                    let unevenness = run
+                        .shards
+                        .iter()
+                        .map(|r| {
+                            r.wear
+                                .as_ref()
+                                // lint: allow(panic-policy) — invariant: the campaign enables wear tracking in every config it builds
+                                .expect("campaign enables wear tracking")
+                                .with(|w| w.unevenness())
+                        })
+                        .fold(1.0_f64, f64::max);
+                    let elapsed_s = run.end.duration_since(Instant::ZERO).as_ps() as f64 * 1e-12;
+                    let rate = total_writes as f64 / elapsed_s;
+                    let leveled_secs = nominal_endurance as f64 * data_lines as f64 / rate;
+                    let coding_stats = run.coding.unwrap_or_default();
+                    let wa = coding_stats.write_amplification();
+                    rows.push(CampaignRow {
+                        skew,
+                        ber,
+                        remap,
+                        coding,
+                        device_years: leveled_secs / unevenness / (1.0 + wa) / SECONDS_PER_YEAR,
+                        unevenness,
+                        p50_read_ns: run.read_histogram.percentile(0.50).as_ns(),
+                        p99_read_ns: run.read_histogram.percentile(0.99).as_ns(),
+                        coding_stats,
+                        faults: run.faults.unwrap_or_default(),
+                    });
+                }
+            }
+        }
+    }
+    rows
 }

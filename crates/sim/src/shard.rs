@@ -15,6 +15,7 @@ use crate::experiments::ExperimentConfig;
 use crate::runner::{Runner, RunnerStats};
 use crate::service::ServiceStats;
 use crate::system::{EventCounts, RunResult};
+use ladder_coding::CodingStats;
 use ladder_energy::EnergyBreakdown;
 use ladder_faults::FaultStats;
 use ladder_memctrl::{LatencyHistogram, MemStats, Tables};
@@ -44,6 +45,9 @@ pub struct ShardedRun {
     /// Fault-model counters folded over all shards, when fault injection
     /// was requested.
     pub faults: Option<FaultStats>,
+    /// Coding-layer counters folded over all shards, when fault injection
+    /// was requested.
+    pub coding: Option<CodingStats>,
     /// Open-loop service statistics folded over all shards, when the
     /// config selected service mode.
     pub service: Option<ServiceStats>,
@@ -132,6 +136,7 @@ pub fn run_sharded(
     let mut end = Instant::ZERO;
     let mut read_histogram = LatencyHistogram::default();
     let mut faults: Option<FaultStats> = None;
+    let mut coding: Option<CodingStats> = None;
     let mut service: Option<ServiceStats> = None;
     let mut records = 0;
     let mut shard_digests = Vec::with_capacity(shards.len());
@@ -144,6 +149,11 @@ pub fn run_sharded(
         read_histogram.merge_from(&r.read_histogram);
         if let Some(f) = &r.faults {
             faults.get_or_insert_with(FaultStats::default).merge(f);
+        }
+        if let Some(c) = &r.coding {
+            coding
+                .get_or_insert_with(CodingStats::default)
+                .merge_from(c);
         }
         if let Some(s) = &r.service {
             service
@@ -170,6 +180,7 @@ pub fn run_sharded(
         end,
         read_histogram,
         faults,
+        coding,
         service,
         digest,
         records,

@@ -12,6 +12,7 @@
 
 use crate::scheme::Scheme;
 use crate::service::ServiceStats;
+use ladder_coding::{CodingKind, CodingStats};
 use ladder_core::LadderConfig;
 use ladder_cpu::{Core, CoreAction, CoreConfig, TraceOp, TraceSource};
 use ladder_energy::{EnergyBreakdown, EnergyMeter, EnergyParams};
@@ -21,7 +22,10 @@ use ladder_memctrl::{
 };
 use ladder_reram::{AddressMap, EventQueue, Geometry, Instant, Interleave, LineAddr, Picos};
 use ladder_trace::{DispatchKind, Mergeable, Trace, TraceRecord, TraceRecorder};
-use ladder_wear::{RotateHwl, SharedRetirePool, SharedWearMap, WearLeveler};
+use ladder_wear::{
+    RemapBackend, RemapKind, RotateHwl, SharedPadRemapper, SharedRetirePool, SharedWearMap,
+    WearLeveler,
+};
 use ladder_workloads::service::ServiceGen;
 use ladder_xbar::{CrossbarParams, TimingTable};
 use std::collections::{BTreeMap, VecDeque};
@@ -67,6 +71,9 @@ pub struct RunResult {
     pub wear: Option<SharedWearMap>,
     /// Fault-model counters, when fault injection was requested.
     pub faults: Option<FaultStats>,
+    /// Coding-layer counters (per-tier resolves, remaps, parity write
+    /// amplification), when fault injection was requested.
+    pub coding: Option<CodingStats>,
     /// Per-[`EventKind`](EventCounts) dispatch counters of the event
     /// kernel that drove this run.
     pub events: EventCounts,
@@ -174,6 +181,13 @@ impl RunResult {
                 );
             }
         }
+        if let Some(c) = self.coding {
+            // Tiered resolves only happen under a non-default scheme, so
+            // legacy (flat-ECC) fault runs render identically to before.
+            if c.resolves[1..].iter().sum::<u64>() > 0 {
+                let _ = writeln!(out, "  {}", c.summary());
+            }
+        }
         let _ = writeln!(
             out,
             "  simulated time: {:.1} us",
@@ -219,6 +233,8 @@ pub struct SystemBuilder {
     energy_params: EnergyParams,
     ladder_override: Option<LadderConfig>,
     fault_cfg: Option<FaultConfig>,
+    coding: CodingKind,
+    remap_kind: RemapKind,
     tracing: bool,
     service: Option<ServiceGen>,
 }
@@ -251,6 +267,8 @@ impl SystemBuilder {
             energy_params: EnergyParams::default(),
             ladder_override: None,
             fault_cfg: None,
+            coding: CodingKind::Flat,
+            remap_kind: RemapKind::Retire,
             tracing: false,
             service: None,
         }
@@ -352,6 +370,22 @@ impl SystemBuilder {
         self
     }
 
+    /// Selects the code scheme the fault model resolves residues with.
+    /// The default, [`CodingKind::Flat`], reproduces the legacy flat
+    /// SEC-DED budget bit-for-bit. No effect without [`Self::faults`].
+    pub fn coding(&mut self, kind: CodingKind) -> &mut Self {
+        self.coding = kind;
+        self
+    }
+
+    /// Selects the remap backend absorbing faulty pages. The default,
+    /// [`RemapKind::Retire`], reproduces the legacy one-way retirement
+    /// pool bit-for-bit. No effect without [`Self::faults`].
+    pub fn remap(&mut self, kind: RemapKind) -> &mut Self {
+        self.remap_kind = kind;
+        self
+    }
+
     /// Spare frames for fault-driven page retirement: a slice of the
     /// reserved low-page region (below the workload windows at
     /// `pages/16`, above the metadata pages at the bottom).
@@ -390,17 +424,25 @@ impl SystemBuilder {
         // The fault model always samples against the physical LADDER table
         // (it describes the device, not the active policy), so every scheme
         // faces identical raw fault pressure.
+        let coding_kind = self.coding;
+        let remap_kind = self.remap_kind;
         let fault_model = self.fault_cfg.map(|fcfg| {
-            let pool = SharedRetirePool::with_spares(Self::spare_frames(&self.geometry));
+            let frames = Self::spare_frames(&self.geometry);
+            let backend = match remap_kind {
+                RemapKind::Retire => RemapBackend::Retire(SharedRetirePool::with_spares(frames)),
+                // Same wear-rotation cadence as the segment VWL leveler.
+                RemapKind::Pad => RemapBackend::Pad(SharedPadRemapper::new(frames, 100_000)),
+            };
             let model = CellFaultModel::new(
                 fcfg,
                 self.ladder_table.clone(),
                 AddressMap::with_interleave(self.geometry.clone(), self.interleave),
             )
-            .with_retire_pool(pool.clone());
+            .with_coding(coding_kind)
+            .with_remap_backend(backend.clone());
             let shared = SharedCellFaultModel::new(model);
             mc.set_fault_injector(shared.clone());
-            (shared, pool)
+            (shared, backend)
         });
         let mut cores: Vec<Core> = self
             .traces
@@ -435,7 +477,7 @@ impl SystemBuilder {
         let mut sim = EventKernel {
             mc,
             leveler: self.leveler,
-            retire: fault_model.as_ref().map(|(_, pool)| pool.clone()),
+            remap: fault_model.as_ref().map(|(_, backend)| backend.clone()),
             hwl: self.hwl,
             pending_reads: BTreeMap::new(),
             pending_migrations: VecDeque::new(),
@@ -510,6 +552,9 @@ impl SystemBuilder {
             fnw: sim.mc.policy().fnw_stats(),
             read_histogram: sim.mc.read_histogram().clone(),
             wear,
+            coding: fault_model
+                .as_ref()
+                .map(|(shared, _)| shared.coding_stats()),
             faults: fault_model.map(|(shared, _)| shared.stats()),
             events: sim.counts,
             trace,
@@ -633,9 +678,10 @@ fn dispatch_kind(ev: EventKind) -> DispatchKind {
 struct EventKernel {
     mc: MemoryController,
     leveler: Option<Box<dyn WearLeveler>>,
-    /// Fault-driven page retirement, applied after the primary leveler
-    /// (both remap physical pages; retirement wins last).
-    retire: Option<SharedRetirePool>,
+    /// Fault-driven page remapping (retirement chains or PAD decoder
+    /// swaps), applied after the primary leveler (both remap physical
+    /// pages; the fault backend wins last).
+    remap: Option<RemapBackend>,
     hwl: Option<RotateHwl>,
     pending_reads: BTreeMap<u64, usize>,
     pending_migrations: VecDeque<LineAddr>,
@@ -685,8 +731,8 @@ impl EventKernel {
             Some(l) => l.map(logical),
             None => logical,
         };
-        match &self.retire {
-            Some(pool) => pool.map(leveled),
+        match &self.remap {
+            Some(backend) => backend.map(leveled),
             None => leveled,
         }
     }
@@ -840,8 +886,8 @@ impl EventKernel {
                         Some(l) => l.note_write(addr),
                         None => Vec::new(),
                     };
-                    if let Some(pool) = &mut self.retire {
-                        migrations.extend(pool.note_write(addr));
+                    if let Some(backend) = &mut self.remap {
+                        migrations.extend(backend.note_write(addr));
                     }
                     let phys = self.map_addr(addr);
                     if self.mc.enqueue_write(phys, stored, now) {
@@ -961,8 +1007,8 @@ impl EventKernel {
                         Some(l) => l.note_write(addr),
                         None => Vec::new(),
                     };
-                    if let Some(pool) = &mut self.retire {
-                        migrations.extend(pool.note_write(addr));
+                    if let Some(backend) = &mut self.remap {
+                        migrations.extend(backend.note_write(addr));
                     }
                     let phys = self.map_addr(addr);
                     if self.mc.enqueue_write(phys, stored, now) {

@@ -148,6 +148,16 @@ fn render_event(tid: usize, at_ps: u64, record: &TraceRecord) -> String {
              \"name\":\"shard:{shard}\"}}",
             ts_us(at_ps)
         ),
+        TraceRecord::TierEcc { tier, bits } => format!(
+            "{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"s\":\"t\",\
+             \"name\":\"tier-ecc\",\"args\":{{\"tier\":{tier},\"bits\":{bits}}}}}",
+            ts_us(at_ps)
+        ),
+        TraceRecord::PadRemap { page, frame } => format!(
+            "{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"s\":\"t\",\
+             \"name\":\"pad-remap\",\"args\":{{\"page\":{page},\"frame\":{frame}}}}}",
+            ts_us(at_ps)
+        ),
     }
 }
 

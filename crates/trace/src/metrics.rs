@@ -186,6 +186,13 @@ pub struct TraceTotals {
     /// Shard identity stamps seen (one per shard of a sharded run; zero
     /// on the monolithic path).
     pub shard_tags: u64,
+    /// Tiered-ECC resolves seen (zero outside tiered coding modes).
+    pub tier_ecc: u64,
+    /// Residual bits handled by tiered resolves.
+    pub tier_ecc_bits: u64,
+    /// Remap-backend page moves traced at resolve time (zero outside
+    /// non-default remap modes).
+    pub pad_remaps: u64,
 }
 
 impl TraceTotals {
@@ -280,6 +287,11 @@ impl TraceTotals {
             TraceRecord::EccCorrection { bits } => self.ecc_corrected_bits += bits as u64,
             TraceRecord::Uncorrectable => self.uncorrectable += 1,
             TraceRecord::ShardTag { .. } => self.shard_tags += 1,
+            TraceRecord::TierEcc { bits, .. } => {
+                self.tier_ecc += 1;
+                self.tier_ecc_bits += bits as u64;
+            }
+            TraceRecord::PadRemap { .. } => self.pad_remaps += 1,
         }
     }
 
@@ -314,6 +326,15 @@ impl TraceTotals {
         if self.shard_tags > 0 {
             reg.add("shard.tags", self.shard_tags);
         }
+        // Coding/remap detail records only exist in non-default modes;
+        // omit the zero counters so legacy exports stay byte-identical.
+        if self.tier_ecc > 0 {
+            reg.add("coding.tier_resolves", self.tier_ecc);
+            reg.add("coding.tier_bits", self.tier_ecc_bits);
+        }
+        if self.pad_remaps > 0 {
+            reg.add("coding.remaps", self.pad_remaps);
+        }
         reg
     }
 }
@@ -343,6 +364,9 @@ impl Mergeable for TraceTotals {
         self.location_pulse_time += other.location_pulse_time;
         self.metadata_pulse_time += other.metadata_pulse_time;
         self.shard_tags += other.shard_tags;
+        self.tier_ecc += other.tier_ecc;
+        self.tier_ecc_bits += other.tier_ecc_bits;
+        self.pad_remaps += other.pad_remaps;
     }
 }
 

@@ -183,6 +183,26 @@ pub enum TraceRecord {
     },
     /// Residual failed bits exceeded the correction budget (data loss).
     Uncorrectable,
+    /// A tiered code resolved a line: which protection tier absorbed (or
+    /// failed to absorb) the residue. Emitted only when a tiered scheme is
+    /// installed, alongside the legacy [`TraceRecord::EccCorrection`] /
+    /// [`TraceRecord::Uncorrectable`] record — default-mode digests never
+    /// see it.
+    TierEcc {
+        /// Protection tier of the line's position.
+        tier: u32,
+        /// Residual bits the tier faced.
+        bits: u32,
+    },
+    /// A resolve moved a faulty page to a new physical frame through the
+    /// remap backend (PAD decoder swap or retirement). Emitted only in
+    /// non-default remap modes.
+    PadRemap {
+        /// The faulty physical page.
+        page: u64,
+        /// The frame now serving its traffic.
+        frame: u64,
+    },
     /// Identity stamp of a sharded run: emitted once at t=0 by each
     /// shard's event kernel, so every shard's record stream — and hence
     /// its digest — is bound to its shard index. Never emitted on the
@@ -205,6 +225,8 @@ impl TraceRecord {
             TraceRecord::EccCorrection { .. } => 6,
             TraceRecord::Uncorrectable => 7,
             TraceRecord::ShardTag { .. } => 8,
+            TraceRecord::TierEcc { .. } => 9,
+            TraceRecord::PadRemap { .. } => 10,
         }
     }
 
@@ -264,6 +286,14 @@ impl TraceRecord {
             TraceRecord::EccCorrection { bits } => fold_u64(h, bits as u64),
             TraceRecord::Uncorrectable => h,
             TraceRecord::ShardTag { shard } => fold_u64(h, shard as u64),
+            TraceRecord::TierEcc { tier, bits } => {
+                h = fold_u64(h, tier as u64);
+                fold_u64(h, bits as u64)
+            }
+            TraceRecord::PadRemap { page, frame } => {
+                h = fold_u64(h, page);
+                fold_u64(h, frame)
+            }
         }
     }
 }

@@ -14,4 +14,7 @@ mod rng_util;
 
 pub use leveling::{NoLeveling, RotateHwl, SegmentVwl, StartGap, WearLeveler};
 pub use lifetime::{relative_lifetime, SharedWearMap, WearMap};
-pub use remap::{HotPageRemapper, RetirePool, SharedRetirePool};
+pub use remap::{
+    HotPageRemapper, PadRemapper, RemapBackend, RemapKind, RetirePool, SharedPadRemapper,
+    SharedRetirePool,
+};

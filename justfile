@@ -30,6 +30,7 @@ regen-golden:
     GOLDEN_REGEN=1 cargo test -q --offline --test golden_trace -- --nocapture
     GOLDEN_REGEN=1 cargo test -q --offline --test shard_determinism -- --nocapture
     GOLDEN_REGEN=1 cargo test -q --offline --test service_determinism -- --nocapture
+    GOLDEN_REGEN=1 cargo test -q --offline --test lifetime_determinism -- --nocapture
 
 # Sharded scale-out smoke: the interleave sweep (merged trace digests
 # included) must be bit-identical across worker counts.
@@ -49,7 +50,8 @@ main-eval jobs="4":
 smoke:
     cargo build --release -p ladder-bench --offline
     for bin in fig2 fig4b fig11 fig15 main_eval lifetime variability tables \
-               ablations crash mna_table extension faults interleave service; do \
+               ablations crash mna_table extension faults interleave service \
+               lifetime_campaign; do \
         echo "-> $bin"; \
         ./target/release/$bin --quick --jobs 2 >/dev/null; \
     done
@@ -59,3 +61,9 @@ smoke:
 # Extra flags pass through, e.g. `just slo "--load 2,8 --tenants 5"`.
 slo extra="":
     cargo run --release -p ladder-bench --bin service --offline -- --quick {{extra}}
+
+# Multi-year device-lifetime campaign: write-skew x BER x remap backend x
+# code scheme, one CSV row per cell (see EXPERIMENTS.md). Extra flags
+# pass through, e.g. `just lifetime-campaign "--zipf 0.5 --topology 4x2"`.
+lifetime-campaign extra="":
+    cargo run --release -p ladder-bench --bin lifetime_campaign --offline -- --quick {{extra}}

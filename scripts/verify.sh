@@ -39,7 +39,8 @@ cargo test -q -p ladder-bench --benches --offline
 # (arg parsing, figure assembly, the event kernel under each scheme).
 echo "==> smoke: ladder-bench binaries (--quick --jobs 2)"
 for bin in fig2 fig4b fig11 fig15 main_eval lifetime variability tables \
-           ablations crash mna_table extension faults interleave service; do
+           ablations crash mna_table extension faults interleave service \
+           lifetime_campaign; do
     echo "  -> $bin"
     ./target/release/"$bin" --quick --jobs 2 >/dev/null
 done
@@ -85,5 +86,21 @@ echo "$svc_seq" | grep -q 'p99/ns' || {
     exit 1
 }
 cargo test -q --offline --test service_determinism >/dev/null
+
+# Lifetime-campaign gate: the device-lifetime sweep CSV (skew × BER ×
+# remap backend × code scheme) must be bit-identical across worker
+# counts, and the coding/remap golden digest must match tests/golden/.
+echo "==> lifetime smoke: campaign CSV jobs-invariance + lifetime golden check"
+camp_seq=$(./target/release/lifetime_campaign --quick --jobs 1 2>/dev/null)
+camp_par=$(./target/release/lifetime_campaign --quick --jobs 4 2>/dev/null)
+if [ "$camp_seq" != "$camp_par" ]; then
+    echo "error: lifetime campaign diverged between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+echo "$camp_seq" | grep -q 'device_years' || {
+    echo "error: lifetime campaign emitted no CSV header" >&2
+    exit 1
+}
+cargo test -q --offline --test lifetime_determinism >/dev/null
 
 echo "verify: OK"

@@ -12,7 +12,8 @@
 //! * [`cpu`] — the trace-driven core model
 //! * [`workloads`] — synthetic SPEC/PARSEC stand-ins
 //! * [`energy`] — dynamic energy model
-//! * [`wear`] — wear-leveling and lifetime
+//! * [`wear`] — wear-leveling, lifetime, and remapping backends
+//! * [`coding`] — location-dependent error channel and code schemes
 //! * [`faults`] — device fault injection, program-and-verify, ECC/remap
 //! * [`trace`] — structured tracing, mergeable metrics, chrome exporter
 //! * [`sim`] — the system simulator and paper experiments
@@ -62,6 +63,7 @@ pub use ladder_sim::{run_sharded, run_sim, Interleave, ShardedRun, SimConfig, To
 pub use ladder_sim::{AloneIpcCache, Runner, RunnerStats};
 
 pub use ladder_baselines as baselines;
+pub use ladder_coding as coding;
 pub use ladder_core as core;
 pub use ladder_cpu as cpu;
 pub use ladder_energy as energy;
