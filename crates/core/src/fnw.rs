@@ -7,7 +7,7 @@
 //! LADDER's LRS accounting; the constrained variant therefore cancels any
 //! flip whose flipped word holds more `1`s than the original word.
 
-use ladder_reram::{LineData, LINE_BYTES};
+use ladder_reram::{bits, LineData, LINE_BYTES};
 
 /// FNW word granularity in bytes (one flip bit per 8-byte word).
 pub const WORD_BYTES: usize = 8;
@@ -70,17 +70,13 @@ pub fn apply_fnw(new: &LineData, old_stored: &LineData, policy: FnwPolicy) -> Fn
     let mut flips_cancelled = 0u32;
     if policy != FnwPolicy::Disabled {
         for w in 0..WORDS_PER_LINE {
-            let range = w * WORD_BYTES..(w + 1) * WORD_BYTES;
-            let new_w = &new[range.clone()];
-            let old_w = &old_stored[range.clone()];
-            let dist: u32 = new_w
-                .iter()
-                .zip(old_w)
-                .map(|(a, b)| (a ^ b).count_ones())
-                .sum();
+            let base = w * WORD_BYTES;
+            let n = bits::le_word(new, base);
+            let o = bits::le_word(old_stored, base);
+            let dist = (n ^ o).count_ones();
             let dist_flipped = (WORD_BYTES as u32 * 8) - dist;
             if dist_flipped < dist {
-                let ones: u32 = new_w.iter().map(|b| b.count_ones()).sum();
+                let ones = n.count_ones();
                 let ones_flipped = (WORD_BYTES as u32 * 8) - ones;
                 let allowed = match policy {
                     FnwPolicy::Classic => true,
@@ -88,9 +84,7 @@ pub fn apply_fnw(new: &LineData, old_stored: &LineData, policy: FnwPolicy) -> Fn
                     FnwPolicy::Disabled => unreachable!(),
                 };
                 if allowed {
-                    for i in range {
-                        stored[i] = !new[i];
-                    }
+                    bits::write_le_word(&mut stored, base, !n);
                     flip_mask |= 1 << w;
                 } else {
                     flips_cancelled += 1;
@@ -98,14 +92,7 @@ pub fn apply_fnw(new: &LineData, old_stored: &LineData, policy: FnwPolicy) -> Fn
             }
         }
     }
-    let mut bits_set = 0u32;
-    let mut bits_reset = 0u32;
-    for i in 0..LINE_BYTES {
-        let went_high = stored[i] & !old_stored[i];
-        let went_low = !stored[i] & old_stored[i];
-        bits_set += went_high.count_ones();
-        bits_reset += went_low.count_ones();
-    }
+    let (bits_set, bits_reset) = bits::delta_ones(&stored, old_stored);
     FnwOutcome {
         stored,
         flip_mask,
@@ -121,9 +108,9 @@ pub fn undo_fnw(stored: &LineData, flip_mask: u8) -> LineData {
     let mut out = *stored;
     for w in 0..WORDS_PER_LINE {
         if (flip_mask >> w) & 1 == 1 {
-            for b in &mut out[w * WORD_BYTES..(w + 1) * WORD_BYTES] {
-                *b = !*b;
-            }
+            let base = w * WORD_BYTES;
+            let word = bits::le_word(stored, base);
+            bits::write_le_word(&mut out, base, !word);
         }
     }
     out

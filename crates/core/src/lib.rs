@@ -36,6 +36,8 @@
 //! assert!(out.cw_lrs <= 512);
 //! ```
 
+pub use ladder_reram::bits;
+
 mod cache;
 mod counters;
 mod engine;

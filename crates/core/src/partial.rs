@@ -9,7 +9,7 @@
 //! metadata covers one line and one 64 B metadata line covers a whole 4 KB
 //! page — no stale-block read is ever needed.
 
-use ladder_reram::{LineData, LINE_BYTES};
+use ladder_reram::{bits, LineData, LINE_BYTES};
 
 /// Subgroups per mat group in the 2-bit encoding (paper sets `N = 4`).
 pub const SUBGROUPS: usize = 4;
@@ -49,12 +49,9 @@ impl PartialCounters {
     pub fn from_line(data: &LineData) -> Self {
         let mut packed = 0u8;
         for j in 0..SUBGROUPS {
-            let worst = data[j * BYTES_PER_SUBGROUP..(j + 1) * BYTES_PER_SUBGROUP]
-                .iter()
-                .map(|b| b.count_ones() as u16)
-                .max()
-                // lint: allow(panic-policy) — invariant: a subgroup is BYTES_PER_SUBGROUP > 0 bytes, max() cannot be None
-                .expect("subgroup nonempty");
+            let worst =
+                bits::worst_byte_ones(&data[j * BYTES_PER_SUBGROUP..(j + 1) * BYTES_PER_SUBGROUP])
+                    as u16;
             packed |= (encode_2bit(worst) as u8) << (2 * j);
         }
         Self(packed)
@@ -86,12 +83,9 @@ impl LowPrecisionCounters {
     pub fn from_line(data: &LineData) -> Self {
         let mut packed = 0u8;
         for half in 0..2 {
-            let worst = data[half * (LINE_BYTES / 2)..(half + 1) * (LINE_BYTES / 2)]
-                .iter()
-                .map(|b| b.count_ones() as u16)
-                .max()
-                // lint: allow(panic-policy) — invariant: a line half is LINE_BYTES/2 > 0 bytes, max() cannot be None
-                .expect("half nonempty");
+            let worst = bits::worst_byte_ones(
+                &data[half * (LINE_BYTES / 2)..(half + 1) * (LINE_BYTES / 2)],
+            ) as u16;
             if worst > LEVELS_1BIT[0] {
                 packed |= 1 << half;
             }
@@ -179,8 +173,11 @@ pub fn estimate_cw_lrs_low(
 pub fn exact_cw_lrs<'a>(lines: impl Iterator<Item = &'a LineData>) -> u16 {
     let mut per_mat = [0u16; LINE_BYTES];
     for data in lines {
-        for (i, b) in data.iter().enumerate() {
-            per_mat[i] += b.count_ones() as u16;
+        for base in (0..LINE_BYTES).step_by(8) {
+            let lanes = bits::lane_ones(bits::le_word(data, base)).to_le_bytes();
+            for (slot, lane) in per_mat[base..base + 8].iter_mut().zip(lanes) {
+                *slot += lane as u16;
+            }
         }
     }
     // lint: allow(panic-policy) — invariant: per_mat is a fixed-size nonempty array, max() cannot be None

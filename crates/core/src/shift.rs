@@ -11,7 +11,7 @@
 //! from the line's block slot so consecutive lines of a page use different
 //! rotations, and the transform is exactly reversed on reads.
 
-use ladder_reram::{LineData, LINE_BYTES};
+use ladder_reram::{bits, LineData, LINE_BYTES};
 
 /// Bytes handled by one chip (= mats per chip per line).
 const GROUP: usize = 8;
@@ -42,15 +42,8 @@ pub fn shift_line(data: &LineData, block_slot: usize) -> LineData {
     let mut out = [0u8; LINE_BYTES];
     for g in 0..LINE_BYTES / GROUP {
         let base = g * GROUP;
-        for k in 0..GROUP {
-            let b = data[base + k];
-            for j in 0..GROUP {
-                if (b >> j) & 1 == 1 {
-                    let dst = (k + j + offset) % GROUP;
-                    out[base + dst] |= 1 << j;
-                }
-            }
-        }
+        let group = bits::le_word(data, base);
+        bits::write_le_word(&mut out, base, bits::shift_group(group, offset));
     }
     out
 }
@@ -66,15 +59,8 @@ pub fn unshift_line(stored: &LineData, block_slot: usize) -> LineData {
     let mut out = [0u8; LINE_BYTES];
     for g in 0..LINE_BYTES / GROUP {
         let base = g * GROUP;
-        for k in 0..GROUP {
-            let b = stored[base + k];
-            for j in 0..GROUP {
-                if (b >> j) & 1 == 1 {
-                    let src = (k + GROUP - (j + offset) % GROUP) % GROUP;
-                    out[base + src] |= 1 << j;
-                }
-            }
-        }
+        let group = bits::le_word(stored, base);
+        bits::write_le_word(&mut out, base, bits::unshift_group(group, offset));
     }
     out
 }

@@ -304,9 +304,7 @@ impl CellFaultModel {
             None => 0,
             Some(mask) => {
                 let seen = mask.apply(data);
-                (0..LINE_BYTES)
-                    .map(|i| (seen[i] ^ data[i]).count_ones())
-                    .sum()
+                ladder_reram::bits::xor_ones(&seen, data)
             }
         }
     }

@@ -295,7 +295,11 @@ enum RKind {
 #[derive(Debug, Clone)]
 struct ReadEntry {
     id: ReqId,
-    addr: LineAddr,
+    /// The target's flat bank, decoded once at enqueue: the issue
+    /// scheduler tests every queued entry's bank against the busy table
+    /// on every pick, and re-decoding per test dominated the hot loop.
+    /// The address itself is not needed after enqueue.
+    bank: usize,
     kind: RKind,
     enqueued_at: Instant,
     for_write: Option<ReqId>,
@@ -311,6 +315,8 @@ enum WKind {
 struct WriteEntry {
     id: ReqId,
     addr: LineAddr,
+    /// `addr`'s flat bank, decoded once at enqueue (see [`ReadEntry::bank`]).
+    bank: usize,
     data: LineData,
     kind: WKind,
     prepared: bool,
@@ -578,9 +584,10 @@ impl MemoryController {
         }
         let id = self.fresh_id();
         let ch = self.channel_of(addr);
+        let bank = self.bank_of(addr);
         self.channels[ch].rdq.push_back(ReadEntry {
             id,
-            addr,
+            bank,
             kind: RKind::Demand,
             enqueued_at: now,
             for_write: None,
@@ -613,6 +620,7 @@ impl MemoryController {
         let entry = WriteEntry {
             id,
             addr,
+            bank: self.bank_of(addr),
             data,
             kind: WKind::Data,
             prepared: false,
@@ -679,7 +687,7 @@ impl MemoryController {
             let rch = self.channel_of(r.addr);
             let rentry = ReadEntry {
                 id,
-                addr: r.addr,
+                bank: self.bank_of(r.addr),
                 kind,
                 enqueued_at: now,
                 for_write: Some(entry.id),
@@ -730,6 +738,7 @@ impl MemoryController {
         let entry = WriteEntry {
             id,
             addr,
+            bank: self.bank_of(addr),
             data: self.store.read(addr),
             kind: WKind::MetadataWriteback,
             prepared: true,
@@ -909,16 +918,14 @@ impl MemoryController {
         let idx = {
             let c = &self.channels[ch];
             let banks = &self.banks;
-            let map = &self.map;
-            c.rdq.iter().position(|r| {
-                (demand_allowed || r.kind != RKind::Demand)
-                    && banks[map.decode(r.addr).flat_bank(map.geometry())] <= now
-            })
+            c.rdq
+                .iter()
+                .position(|r| (demand_allowed || r.kind != RKind::Demand) && banks[r.bank] <= now)
         };
         let Some(idx) = idx else { return false };
         // lint: allow(panic-policy) — invariant: idx was just produced by position() over this same queue
         let entry = self.channels[ch].rdq.remove(idx).expect("index valid");
-        let bank = self.bank_of(entry.addr);
+        let bank = entry.bank;
         let nominal_burst = Instant::from_ps((now + lat).as_ps() - timing.t_burst.as_ps());
         let burst_start = self.channels[ch]
             .bus
@@ -969,7 +976,6 @@ impl MemoryController {
         let idx = {
             let c = &self.channels[ch];
             let banks = &self.banks;
-            let map = &self.map;
             let deps = &self.write_deps;
             c.wrq.iter().position(|w| {
                 if !w.prepared {
@@ -980,13 +986,13 @@ impl MemoryController {
                         return false;
                     }
                 }
-                banks[map.decode(w.addr).flat_bank(map.geometry())] <= now
+                banks[w.bank] <= now
             })
         };
         let Some(idx) = idx else { return false };
         let entry = self.channels[ch].wrq.remove(idx);
         self.write_deps.remove(&entry.id);
-        let bank = self.bank_of(entry.addr);
+        let bank = entry.bank;
         let (t_wr, bits_set, bits_reset, cw_lrs) = match entry.kind {
             WKind::Data => {
                 let cache_before = if self.recorder.is_enabled() {

@@ -498,13 +498,7 @@ impl WritePolicy for LadderPolicy {
             .persisted_meta
             .insert(addr.raw(), new)
             .unwrap_or([0; 64]);
-        let mut set = 0;
-        let mut reset = 0;
-        for i in 0..64 {
-            set += (new[i] & !old[i]).count_ones();
-            reset += (!new[i] & old[i]).count_ones();
-        }
-        (set, reset)
+        ladder_reram::bits::delta_ones(&new, &old)
     }
 }
 

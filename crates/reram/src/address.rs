@@ -198,6 +198,16 @@ impl Decoded {
 pub struct AddressMap {
     geometry: Geometry,
     interleave: Interleave,
+    /// The policy's digit order under this geometry, cached so the per-line
+    /// hot path never re-derives radixes (which costs a division).
+    order: [(Dim, u64); 5],
+    /// Cached module capacity in lines (for the decode bounds check).
+    lines: u64,
+    /// Shift/mask decode plan, present when every radix is a power of two
+    /// (true for the default geometry): digit `i` is
+    /// `(page >> plan[i].1) & plan[i].2`, replacing the mixed-radix
+    /// divide/modulo chain. `None` falls back to the general path.
+    pow2: Option<[(Dim, u32, u64); 5]>,
 }
 
 impl AddressMap {
@@ -224,9 +234,23 @@ impl AddressMap {
             // lint: allow(panic-policy) — constructor contract: invalid geometry is a configuration bug, documented under # Panics
             panic!("unsupported geometry: {msg}");
         }
+        let order = interleave.order(&geometry);
+        let mut pow2 = None;
+        if order.iter().all(|&(_, radix)| radix.is_power_of_two()) {
+            let mut plan = [(Dim::Channel, 0u32, 0u64); 5];
+            let mut shift = 0u32;
+            for (slot, &(dim, radix)) in plan.iter_mut().zip(&order) {
+                *slot = (dim, shift, radix - 1);
+                shift += radix.trailing_zeros();
+            }
+            pow2 = Some(plan);
+        }
         Self {
+            lines: geometry.lines(),
             geometry,
             interleave,
+            order,
+            pow2,
         }
     }
 
@@ -246,22 +270,34 @@ impl AddressMap {
     ///
     /// Panics if the address is beyond the module capacity.
     pub fn decode(&self, line: LineAddr) -> Decoded {
-        let g = &self.geometry;
-        assert!(line.raw() < g.lines(), "{line} beyond module capacity");
+        assert!(line.raw() < self.lines, "{line} beyond module capacity");
         let mut p = line.page();
         let (mut channel, mut rank, mut bank, mut wordline, mut mat_group) = (0, 0, 0, 0, 0);
-        for (dim, radix) in self.interleave.order(g) {
-            let digit = (p % radix) as usize;
-            p /= radix;
-            match dim {
-                Dim::Channel => channel = digit,
-                Dim::Rank => rank = digit,
-                Dim::Bank => bank = digit,
-                Dim::Wordline => wordline = digit,
-                Dim::MatGroup => mat_group = digit,
+        if let Some(plan) = &self.pow2 {
+            for &(dim, shift, mask) in plan {
+                let digit = ((p >> shift) & mask) as usize;
+                match dim {
+                    Dim::Channel => channel = digit,
+                    Dim::Rank => rank = digit,
+                    Dim::Bank => bank = digit,
+                    Dim::Wordline => wordline = digit,
+                    Dim::MatGroup => mat_group = digit,
+                }
             }
+        } else {
+            for &(dim, radix) in &self.order {
+                let digit = (p % radix) as usize;
+                p /= radix;
+                match dim {
+                    Dim::Channel => channel = digit,
+                    Dim::Rank => rank = digit,
+                    Dim::Bank => bank = digit,
+                    Dim::Wordline => wordline = digit,
+                    Dim::MatGroup => mat_group = digit,
+                }
+            }
+            debug_assert_eq!(p, 0);
         }
-        debug_assert_eq!(p, 0);
         Decoded {
             channel,
             rank,
@@ -289,7 +325,7 @@ impl AddressMap {
             "decoded coordinates out of range"
         );
         let mut p = 0u64;
-        for (dim, radix) in self.interleave.order(g).iter().rev() {
+        for (dim, radix) in self.order.iter().rev() {
             let digit = match dim {
                 Dim::Channel => d.channel,
                 Dim::Rank => d.rank,
@@ -324,6 +360,69 @@ impl AddressMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The legacy mixed-radix divide/modulo decode, kept as the reference
+    /// for the shift/mask fast path (see `DESIGN.md` §15).
+    fn decode_reference(map: &AddressMap, line: LineAddr) -> Decoded {
+        let mut p = line.page();
+        let (mut channel, mut rank, mut bank, mut wordline, mut mat_group) = (0, 0, 0, 0, 0);
+        for (dim, radix) in map.interleave.order(map.geometry()) {
+            let digit = (p % radix) as usize;
+            p /= radix;
+            match dim {
+                Dim::Channel => channel = digit,
+                Dim::Rank => rank = digit,
+                Dim::Bank => bank = digit,
+                Dim::Wordline => wordline = digit,
+                Dim::MatGroup => mat_group = digit,
+            }
+        }
+        Decoded {
+            channel,
+            rank,
+            bank,
+            mat_group,
+            wordline,
+            block_slot: line.block_slot(),
+        }
+    }
+
+    #[test]
+    fn pow2_decode_plan_matches_mixed_radix_reference() {
+        for interleave in Interleave::ALL {
+            let map = AddressMap::with_interleave(Geometry::default(), interleave);
+            assert!(map.pow2.is_some(), "default geometry is all power-of-two");
+            let lines = map.geometry().lines();
+            let mut x = 0x243f_6a88_85a3_08d3u64;
+            for _ in 0..2000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = LineAddr::new(x % lines);
+                assert_eq!(map.decode(a), decode_reference(&map, a), "{a}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_pow2_geometry_takes_the_general_path() {
+        let g = Geometry {
+            channels: 3,
+            ..Geometry::default()
+        };
+        let map = AddressMap::new(g);
+        assert!(map.pow2.is_none(), "radix 3 cannot use shift/mask decode");
+        let lines = map.geometry().lines();
+        let mut x = 0x1357_9bdf_0246_8aceu64;
+        for _ in 0..2000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = LineAddr::new(x % lines);
+            assert_eq!(map.decode(a), decode_reference(&map, a), "{a}");
+            assert_eq!(map.encode(&map.decode(a)), a);
+        }
+    }
 
     #[test]
     fn decode_encode_roundtrip_samples() {

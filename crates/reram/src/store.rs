@@ -7,6 +7,7 @@
 //! freshly formed ReRAM array.
 
 use crate::address::LineAddr;
+use crate::bits;
 use crate::geometry::LINE_BYTES;
 use std::collections::HashMap;
 
@@ -30,8 +31,11 @@ impl FaultMask {
     /// Applies the mask to programmed data: what a read actually returns.
     pub fn apply(&self, data: &LineData) -> LineData {
         let mut out = *data;
-        for (i, byte) in out.iter_mut().enumerate() {
-            *byte = (*byte | self.sa1[i]) & !self.sa0[i];
+        for base in (0..LINE_BYTES).step_by(8) {
+            let d = bits::le_word(data, base);
+            let sa1 = bits::le_word(&self.sa1, base);
+            let sa0 = bits::le_word(&self.sa0, base);
+            bits::write_le_word(&mut out, base, (d | sa1) & !sa0);
         }
         out
     }
@@ -150,7 +154,7 @@ impl LineStore {
 
 /// Number of `1` bits in a line.
 pub fn line_ones(data: &LineData) -> u32 {
-    data.iter().map(|b| b.count_ones()).sum()
+    bits::ones(data)
 }
 
 #[cfg(test)]

@@ -20,7 +20,9 @@ use ladder_faults::{CellFaultModel, FaultConfig, FaultStats, SharedCellFaultMode
 use ladder_memctrl::{
     CtrlWake, CwTrace, LatencyHistogram, MemCtrlConfig, MemStats, MemoryController, ReqId, Tables,
 };
-use ladder_reram::{AddressMap, EventQueue, Geometry, Instant, Interleave, LineAddr, Picos};
+use ladder_reram::{
+    AddressMap, EventQueue, Geometry, Instant, Interleave, LineAddr, Picos, QueueBackend,
+};
 use ladder_trace::{DispatchKind, Mergeable, Trace, TraceRecord, TraceRecorder};
 use ladder_wear::{
     RemapBackend, RemapKind, RotateHwl, SharedPadRemapper, SharedRetirePool, SharedWearMap,
@@ -235,6 +237,7 @@ pub struct SystemBuilder {
     fault_cfg: Option<FaultConfig>,
     coding: CodingKind,
     remap_kind: RemapKind,
+    queue: QueueBackend,
     tracing: bool,
     service: Option<ServiceGen>,
 }
@@ -269,6 +272,7 @@ impl SystemBuilder {
             fault_cfg: None,
             coding: CodingKind::Flat,
             remap_kind: RemapKind::Retire,
+            queue: QueueBackend::default(),
             tracing: false,
             service: None,
         }
@@ -294,6 +298,15 @@ impl SystemBuilder {
     /// so each shard's digest is bound to its identity.
     pub fn shard(&mut self, index: u32) -> &mut Self {
         self.shard = Some(index);
+        self
+    }
+
+    /// Selects the kernel event-queue backend. Both backends dispatch in
+    /// the same deterministic order (ascending `(Instant, seq)`), so a run
+    /// is bit-identical under either; the heap is kept as the reference
+    /// implementation for differential tests.
+    pub fn queue(&mut self, backend: QueueBackend) -> &mut Self {
+        self.queue = backend;
         self
     }
 
@@ -482,7 +495,7 @@ impl SystemBuilder {
             pending_reads: BTreeMap::new(),
             pending_migrations: VecDeque::new(),
             core_finish: vec![None; cores.len()],
-            events: EventQueue::new(),
+            events: EventQueue::with_backend(self.queue),
             core_wake: vec![None; cores.len()],
             waiting: vec![false; cores.len()],
             last_process: None,

@@ -125,7 +125,7 @@ mod tests {
     }
 
     fn ones(l: &LineData) -> usize {
-        l.iter().map(|b| b.count_ones() as usize).sum()
+        ladder_reram::bits::ones(l) as usize
     }
 
     #[test]
@@ -161,7 +161,7 @@ mod tests {
         let mut rng = SplitMix64::new(3);
         let tight = spec(0.1, 1.0, 0.0);
         let loose = spec(0.1, 0.0, 0.0);
-        let worst_byte = |l: &LineData| l.iter().map(|b| b.count_ones()).max().unwrap_or(0);
+        let worst_byte = |l: &LineData| ladder_reram::bits::worst_byte_ones(l);
         let tight_worst: u32 = (0..50)
             .map(|_| worst_byte(&generate_line(&tight, &pattern, &mut rng)))
             .sum();

@@ -40,10 +40,18 @@ cargo test -q -p ladder-bench --benches --offline
 echo "==> smoke: ladder-bench binaries (--quick --jobs 2)"
 for bin in fig2 fig4b fig11 fig15 main_eval lifetime variability tables \
            ablations crash mna_table extension faults interleave service \
-           lifetime_campaign; do
+           lifetime_campaign hotloop; do
     echo "  -> $bin"
     ./target/release/"$bin" --quick --jobs 2 >/dev/null
 done
+
+# Hot-loop gate: the fast/reference equivalence battery (SWAR kernels,
+# quantized table lookup, calendar queue — including the differential
+# full quick run on both queue backends) must pass, and the hotloop
+# bench itself exits non-zero if the two backends' trace digests ever
+# diverge (it already ran in the smoke loop above).
+echo "==> hotloop: fast-path vs reference-path equivalence battery"
+cargo test -q --offline --test hotloop_equivalence >/dev/null
 
 # The --trace flag must produce valid-looking chrome://tracing JSON, and
 # the canonical --quick digests must match tests/golden/.
