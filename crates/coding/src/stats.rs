@@ -78,11 +78,11 @@ impl CodingStats {
 impl Mergeable for CodingStats {
     fn merge_from(&mut self, other: &Self) {
         for i in 0..CODING_BUCKETS {
-            self.resolves[i] += other.resolves[i];
-            self.corrected_bits[i] += other.corrected_bits[i];
-            self.uncorrectable[i] += other.uncorrectable[i];
+            self.resolves[i] = self.resolves[i].saturating_add(other.resolves[i]);
+            self.corrected_bits[i] = self.corrected_bits[i].saturating_add(other.corrected_bits[i]);
+            self.uncorrectable[i] = self.uncorrectable[i].saturating_add(other.uncorrectable[i]);
         }
-        self.remaps += other.remaps;
+        self.remaps = self.remaps.saturating_add(other.remaps);
         // Scheme property, identical across shards: max keeps the fold
         // associative/commutative with the all-zero identity.
         self.wa_millionths = self.wa_millionths.max(other.wa_millionths);

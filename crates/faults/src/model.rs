@@ -86,14 +86,18 @@ impl FaultStats {
 
     /// Accumulates another model's counters into this one.
     pub fn merge(&mut self, other: &FaultStats) {
-        self.data_writes += other.data_writes;
-        self.transient_bit_errors += other.transient_bit_errors;
-        self.stuck_cells += other.stuck_cells;
-        self.corrected_bits += other.corrected_bits;
-        self.uncorrectable_lines += other.uncorrectable_lines;
-        self.data_loss_bits += other.data_loss_bits;
-        self.retired_pages += other.retired_pages;
-        self.retire_exhausted += other.retire_exhausted;
+        self.data_writes = self.data_writes.saturating_add(other.data_writes);
+        self.transient_bit_errors = self
+            .transient_bit_errors
+            .saturating_add(other.transient_bit_errors);
+        self.stuck_cells = self.stuck_cells.saturating_add(other.stuck_cells);
+        self.corrected_bits = self.corrected_bits.saturating_add(other.corrected_bits);
+        self.uncorrectable_lines = self
+            .uncorrectable_lines
+            .saturating_add(other.uncorrectable_lines);
+        self.data_loss_bits = self.data_loss_bits.saturating_add(other.data_loss_bits);
+        self.retired_pages = self.retired_pages.saturating_add(other.retired_pages);
+        self.retire_exhausted = self.retire_exhausted.saturating_add(other.retire_exhausted);
     }
 }
 

@@ -1,0 +1,13 @@
+// path: crates/memctrl/src/tally.rs
+// expect: counter-overflow-policy @ 11:22
+/// Counter struct whose fold path wraps on overflow.
+pub struct RetryCounts {
+    pub retries: u64,
+}
+
+impl RetryCounts {
+    /// The record path may stay `+=`; the cross-shard fold must not.
+    pub fn merge(&mut self, other: &Self) {
+        self.retries += other.retries;
+    }
+}

@@ -1,0 +1,7 @@
+// path: crates/sim/src/cleanup.rs
+// expect: dead-pragma @ 5:5
+/// The unwrap this pragma once justified was refactored away.
+pub fn remaining(total: u64, done: u64) -> u64 {
+    // lint: allow(panic-policy) — was: indexing proven in-bounds
+    total.saturating_sub(done)
+}

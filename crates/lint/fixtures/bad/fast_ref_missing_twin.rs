@@ -1,0 +1,9 @@
+// path: crates/reram/src/kernels.rs
+// expect: fast-ref-twin @ 6:12
+/// Reference-only kernel: its fast twin was deleted in a refactor.
+pub mod reference {
+    /// Population count, one lane at a time.
+    pub fn frob(word: u64) -> u32 {
+        word.count_ones()
+    }
+}

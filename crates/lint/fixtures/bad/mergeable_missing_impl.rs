@@ -1,0 +1,6 @@
+// path: crates/coding/src/tally.rs
+// expect: mergeable-coverage @ 4:12
+/// Counter struct that never joined the shard fold.
+pub struct TallyStats {
+    pub hits: u64,
+}

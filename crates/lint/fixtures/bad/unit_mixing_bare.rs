@@ -1,0 +1,6 @@
+// path: crates/xbar/src/timing.rs
+// expect: unit-mixing @ 5:15
+/// Adds a nanosecond adjustment straight onto a picosecond base.
+pub fn total(base_ps: u64, adj_ns: u64) -> u64 {
+    base_ps + adj_ns
+}

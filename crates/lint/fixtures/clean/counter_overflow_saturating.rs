@@ -1,0 +1,11 @@
+// path: crates/memctrl/src/tally.rs
+/// The fold path saturates instead of wrapping.
+pub struct RetryCounts {
+    pub retries: u64,
+}
+
+impl RetryCounts {
+    pub fn merge(&mut self, other: &Self) {
+        self.retries = self.retries.saturating_add(other.retries);
+    }
+}

@@ -1,0 +1,6 @@
+// path: crates/sim/src/cleanup.rs
+/// The pragma still suppresses a real violation below it.
+pub fn head(values: &[u64]) -> u64 {
+    // lint: allow(panic-policy) — invariant: callers guarantee non-empty
+    *values.first().unwrap()
+}

@@ -1,0 +1,18 @@
+// path: crates/reram/src/kernels.rs
+/// Fast path, paired with the bit-serial reference below and proven in
+/// the equivalence-test unit of this fixture corpus.
+pub fn frob(word: u64) -> u32 {
+    word.count_ones()
+}
+
+/// Reference twin: same signature, proven equivalent in the tests.
+pub mod reference {
+    pub fn frob(word: u64) -> u32 {
+        word.count_ones()
+    }
+}
+// file: crates/reram/tests/kernels_equivalence.rs
+fn frob_matches_reference() {
+    let word = 0xF0F0_1234_u64;
+    assert_eq!(crate::frob(word), crate::reference::frob(word));
+}

@@ -1,0 +1,15 @@
+// path: crates/coding/src/tally.rs
+/// Counter struct wired into the shard fold.
+pub struct TallyStats {
+    pub hits: u64,
+}
+
+impl Mergeable for TallyStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.hits = self.hits.saturating_add(other.hits);
+    }
+}
+// file: crates/sim/src/fold.rs
+pub fn fold(result: &mut RunResult, shard: &TallyStats) {
+    result.tally.merge_from(shard);
+}

@@ -1,0 +1,5 @@
+// path: crates/xbar/src/timing.rs
+/// Converts the adjustment into the ps domain before adding.
+pub fn total(base_ps: u64, adj_ns: u64) -> u64 {
+    base_ps + ns_to_ps(adj_ns)
+}

@@ -63,6 +63,8 @@ impl Token {
 pub struct Comment {
     /// 1-based line the comment starts on.
     pub line: usize,
+    /// 1-based column of the `//` marker (where pragma findings anchor).
+    pub col: usize,
     /// Whether only whitespace precedes the comment on its line (an
     /// own-line pragma also covers the following line).
     pub own_line: bool,
@@ -157,6 +159,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 out.comments.push(Comment {
                     line,
+                    col,
                     own_line: !line_has_token,
                     text,
                 });
@@ -455,8 +458,10 @@ mod tests {
         let lexed = lex(src);
         assert_eq!(lexed.comments.len(), 2);
         assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].col, 12);
         assert!(!lexed.comments[0].own_line);
         assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[1].col, 1);
         assert!(lexed.comments[1].own_line);
         assert_eq!(lexed.comments[1].text.trim(), "own line");
     }

@@ -1,15 +1,20 @@
 //! CLI for `ladder-lint`.
 //!
 //! ```text
-//! ladder-lint [--root DIR] [--json] [--list-rules] [--fixtures DIR]
+//! ladder-lint [--root DIR] [--json | --sarif] [--stats] [--list-rules]
+//!             [--fixtures DIR]
 //! ```
 //!
-//! Exit codes: 0 = clean, 1 = findings reported, 2 = usage or I/O error.
+//! Exit codes (stable, asserted by the test suite):
+//!   0 — analysis ran and found nothing
+//!   1 — analysis ran and reported findings
+//!   2 — usage or I/O error (bad flag, conflicting output modes,
+//!       unreadable root/fixtures directory)
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ladder_lint::{run_fixtures, run_workspace, to_json, RULES};
+use ladder_lint::{run_fixtures, run_workspace, to_json, to_sarif, Finding, RuleStat, RULES};
 
 const USAGE: &str = "\
 ladder-lint — workspace determinism & accounting conformance analyzer
@@ -20,15 +25,24 @@ USAGE:
 OPTIONS:
     --root DIR        workspace root to lint (default: .)
     --json            emit findings as a JSON array
+    --sarif           emit findings as a SARIF 2.1.0 log
+    --stats           print a per-rule findings/time table to stderr
     --fixtures DIR    lint a fixture corpus (virtual `// path:` headers)
                       instead of the workspace
     --list-rules      print the rule catalog and exit
     -h, --help        show this help
+
+EXIT CODES:
+    0    clean (no findings)
+    1    findings reported
+    2    usage or I/O error
 ";
 
 struct Options {
     root: PathBuf,
     json: bool,
+    sarif: bool,
+    stats: bool,
     fixtures: Option<PathBuf>,
     list_rules: bool,
 }
@@ -37,6 +51,8 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         root: PathBuf::from("."),
         json: false,
+        sarif: false,
+        stats: false,
         fixtures: None,
         list_rules: false,
     };
@@ -48,6 +64,8 @@ fn parse_args() -> Result<Options, String> {
                 opts.root = PathBuf::from(value);
             }
             "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
+            "--stats" => opts.stats = true,
             "--fixtures" => {
                 let value = args.next().ok_or("--fixtures needs a directory")?;
                 opts.fixtures = Some(PathBuf::from(value));
@@ -60,7 +78,24 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if opts.json && opts.sarif {
+        return Err("--json and --sarif are mutually exclusive".to_string());
+    }
     Ok(opts)
+}
+
+fn print_stats(files: usize, stats: &[RuleStat]) {
+    eprintln!("ladder-lint: analyzed {files} files");
+    eprintln!("{:<24} {:>8} {:>12}", "rule", "findings", "time");
+    for s in stats {
+        eprintln!(
+            "{:<24} {:>8} {:>9}.{:03} ms",
+            s.rule,
+            s.findings,
+            s.nanos / 1_000_000,
+            (s.nanos / 1_000) % 1_000
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -74,13 +109,13 @@ fn main() -> ExitCode {
 
     if opts.list_rules {
         for rule in RULES {
-            println!("{:<13} {}", rule.name, rule.summary);
-            println!("{:<13}   scope: {}", "", rule.scope);
+            println!("{:<24} {}", rule.name, rule.summary);
+            println!("{:<24}   scope: {}", "", rule.scope);
         }
         return ExitCode::SUCCESS;
     }
 
-    let findings = if let Some(dir) = &opts.fixtures {
+    let findings: Vec<Finding> = if let Some(dir) = &opts.fixtures {
         match run_fixtures(dir) {
             Ok(reports) => reports.into_iter().flat_map(|r| r.findings).collect(),
             Err(e) => {
@@ -90,7 +125,12 @@ fn main() -> ExitCode {
         }
     } else {
         match run_workspace(&opts.root) {
-            Ok(f) => f,
+            Ok(report) => {
+                if opts.stats {
+                    print_stats(report.files, &report.stats);
+                }
+                report.findings
+            }
             Err(e) => {
                 eprintln!("error: cannot lint {}: {e}", opts.root.display());
                 return ExitCode::from(2);
@@ -100,6 +140,8 @@ fn main() -> ExitCode {
 
     if opts.json {
         println!("{}", to_json(&findings));
+    } else if opts.sarif {
+        print!("{}", to_sarif(&findings));
     } else {
         for f in &findings {
             println!("{}", f.render());

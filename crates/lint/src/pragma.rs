@@ -1,4 +1,4 @@
-//! The inline allow-pragma grammar.
+//! The inline allow-pragma grammar, with a full lifecycle.
 //!
 //! A finding is suppressed by a justified pragma comment:
 //!
@@ -12,22 +12,36 @@
 //! a malformed pragma is itself reported (rule `pragma`), so a typo can
 //! never silently disable anything. The separator before the
 //! justification may be `—`, `–`, `-` or just whitespace.
+//!
+//! Pragmas are audited, not just consulted: the analysis pipeline
+//! ([`crate::rules::analyze_units`]) records which pragma suppressed
+//! which finding, and a well-formed pragma that suppresses nothing is
+//! reported under the `dead-pragma` rule — stale escape hatches cannot
+//! outlive the violation they once justified.
 
 use crate::lexer::Comment;
 use crate::rules::rule_exists;
-use std::collections::BTreeMap;
 
-/// One parsed `lint: allow(...)` pragma.
+/// One parsed, well-formed `lint: allow(...)` pragma.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pragma {
     /// Line the pragma comment starts on.
     pub line: usize,
+    /// Column of the `//` marker.
+    pub col: usize,
     /// Rule it allows.
     pub rule: String,
     /// Justification text (may be empty — reported as malformed).
     pub justification: String,
     /// Whether the comment stood on its own line.
     pub own_line: bool,
+}
+
+impl Pragma {
+    /// Whether this pragma covers findings of `rule` on `line`.
+    pub fn covers(&self, rule: &str, line: usize) -> bool {
+        self.rule == rule && (line == self.line || (self.own_line && line == self.line + 1))
+    }
 }
 
 /// A malformed pragma, reported as a finding under the `pragma` rule.
@@ -42,8 +56,9 @@ pub struct PragmaError {
 /// Pragmas extracted from a file's comments, plus any parse errors.
 #[derive(Debug, Default)]
 pub struct Pragmas {
-    /// Allowed rules per line: line → rule names allowed there.
-    allowed: BTreeMap<usize, Vec<String>>,
+    /// Well-formed pragmas, in source order (indexable for usage
+    /// tracking).
+    pub pragmas: Vec<Pragma>,
     /// Malformed pragmas.
     pub errors: Vec<PragmaError>,
 }
@@ -51,13 +66,12 @@ pub struct Pragmas {
 impl Pragmas {
     /// Whether `rule` is allowed at `line` by some pragma.
     pub fn allows(&self, rule: &str, line: usize) -> bool {
-        self.allowed
-            .get(&line)
-            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+        self.covering(rule, line).is_some()
     }
 
-    fn allow(&mut self, rule: &str, line: usize) {
-        self.allowed.entry(line).or_default().push(rule.to_string());
+    /// Index of the first pragma covering `rule` at `line`, if any.
+    pub fn covering(&self, rule: &str, line: usize) -> Option<usize> {
+        self.pragmas.iter().position(|p| p.covers(rule, line))
     }
 }
 
@@ -92,10 +106,7 @@ pub fn collect(comments: &[Comment]) -> Pragmas {
                 }
                 // A justification-less pragma still suppresses (the error
                 // above forces it to be fixed either way).
-                out.allow(&p.rule, p.line);
-                if p.own_line {
-                    out.allow(&p.rule, p.line + 1);
-                }
+                out.pragmas.push(p);
             }
             Err(e) => out.errors.push(e),
         }
@@ -129,6 +140,7 @@ fn parse_comment(c: &Comment) -> Option<Result<Pragma, PragmaError>> {
         .to_string();
     Some(Ok(Pragma {
         line: c.line,
+        col: c.col,
         rule,
         justification,
         own_line: c.own_line,
@@ -142,6 +154,7 @@ mod tests {
     fn comment(line: usize, own_line: bool, text: &str) -> Comment {
         Comment {
             line,
+            col: if own_line { 5 } else { 40 },
             own_line,
             text: text.to_string(),
         }
@@ -154,6 +167,7 @@ mod tests {
         assert!(!p.allows("panic-policy", 8));
         assert!(!p.allows("hash-iter", 7));
         assert!(p.errors.is_empty());
+        assert_eq!(p.pragmas[0].col, 40);
     }
 
     #[test]
@@ -165,11 +179,23 @@ mod tests {
     }
 
     #[test]
+    fn covering_returns_the_pragma_index() {
+        let p = collect(&[
+            comment(1, true, " lint: allow(hash-iter) — sorted at export"),
+            comment(9, true, " lint: allow(wall-clock) — progress bar"),
+        ]);
+        assert_eq!(p.covering("wall-clock", 10), Some(1));
+        assert_eq!(p.covering("hash-iter", 1), Some(0));
+        assert_eq!(p.covering("hash-iter", 10), None);
+    }
+
+    #[test]
     fn unknown_rule_is_an_error_and_does_not_suppress() {
         let p = collect(&[comment(1, true, " lint: allow(no-such-rule) — whatever")]);
         assert_eq!(p.errors.len(), 1);
         assert!(p.errors[0].message.contains("no-such-rule"));
         assert!(!p.allows("no-such-rule", 1));
+        assert!(p.pragmas.is_empty());
     }
 
     #[test]
@@ -186,6 +212,7 @@ mod tests {
             comment(2, true, "! module docs"),
         ]);
         assert!(p.errors.is_empty());
+        assert!(p.pragmas.is_empty());
     }
 
     #[test]

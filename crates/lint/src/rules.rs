@@ -1,4 +1,4 @@
-//! The rule catalog and the per-file analysis engine.
+//! The rule catalog and the two-pass analysis engine.
 //!
 //! Every rule is deny-by-default: a violation is an error unless it sits
 //! under a justified `// lint: allow(<rule>) — <why>` pragma
@@ -7,9 +7,19 @@
 //! them skip `#[cfg(test)]` / `#[test]` item spans — test code may panic
 //! and hash freely; the invariants protect what ships in the simulation
 //! and accounting paths.
+//!
+//! Analysis runs in two passes over a corpus of [`SourceUnit`]s
+//! ([`analyze_units`]): pass 1 runs the per-file rules and builds the
+//! [`SymbolIndex`](crate::index::SymbolIndex); pass 2 runs the
+//! cross-crate semantic rules ([`crate::semantic`]) against the index.
+//! Pragma filtering happens once at the end so the `dead-pragma` rule
+//! can see which pragmas suppressed anything at all.
 
-use crate::lexer::{lex, Token};
-use crate::pragma;
+use crate::index::SymbolIndex;
+use crate::lexer::{lex, Lexed, Token};
+use crate::pragma::{self, Pragmas};
+use crate::semantic;
+use std::collections::BTreeMap;
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +46,38 @@ impl Finding {
     }
 }
 
+/// One source file handed to the analyzer (path + contents; nothing is
+/// read from disk inside the engine, so fixtures can fabricate corpora).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceUnit {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Full file contents.
+    pub source: String,
+}
+
+/// Per-rule outcome of one analysis run, for `--stats`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleStat {
+    /// Rule name (`symbol-index` for the pass-1 index build).
+    pub rule: &'static str,
+    /// Findings that survived pragma filtering.
+    pub findings: usize,
+    /// Wall-clock nanoseconds spent in the rule across the corpus.
+    pub nanos: u128,
+}
+
+/// The result of analyzing a corpus.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// All findings, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Per-rule summary in catalog order (index row first).
+    pub stats: Vec<RuleStat>,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
 /// Static description of one rule, for `--list-rules` and the docs.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
@@ -47,7 +89,7 @@ pub struct RuleInfo {
     pub scope: &'static str,
 }
 
-/// The rule catalog (kept in sync with DESIGN.md §11).
+/// The rule catalog (kept in sync with DESIGN.md §11 and §16).
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "hash-iter",
@@ -95,6 +137,39 @@ pub const RULES: &[RuleInfo] = &[
         scope: "everywhere except crates/sim/src/config.rs and \
                 crates/sim/src/service.rs (the builder modules); tests/ \
                 and test spans are exempt",
+    },
+    RuleInfo {
+        name: "fast-ref-twin",
+        summary: "every reference kernel (pub fn in a `reference` module, \
+                  `*_reference` fn, or designated reference variant) needs \
+                  a same-signature fast twin and an equivalence test",
+        scope: "crates/*/src (cross-crate, via the symbol index); \
+                equivalence proofs live in tests/*equivalence*.rs",
+    },
+    RuleInfo {
+        name: "mergeable-coverage",
+        summary: "every *Stats/*Counts struct must impl Mergeable and be \
+                  folded into RunResult or a shard-fold path",
+        scope: "crates/{sim,trace,faults,coding,wear}/src (cross-crate)",
+    },
+    RuleInfo {
+        name: "unit-mixing",
+        summary: "no arithmetic mixing `_ps` and `_ns` identifiers in one \
+                  statement without an explicit conversion call",
+        scope: "crates/*/src (non-test spans); tests/ and benches/ exempt",
+    },
+    RuleInfo {
+        name: "counter-overflow-policy",
+        summary: "merge/fold methods of counter structs must use \
+                  saturating_/checked_ arithmetic, never `+=`/wrapping_add",
+        scope: "crates/{sim,trace,faults,wear,coding,memctrl}/src, \
+                merge/merge_from/fold* methods of *Stats/*Counts impls",
+    },
+    RuleInfo {
+        name: "dead-pragma",
+        summary: "a `// lint: allow(...)` pragma that suppresses nothing \
+                  is itself a finding — pragmas are re-audited on every run",
+        scope: "everywhere a pragma appears",
     },
 ];
 
@@ -177,9 +252,9 @@ impl<'a> FileContext<'a> {
 
 /// An inclusive line range.
 #[derive(Debug, Clone, Copy)]
-struct Span {
-    start: usize,
-    end: usize,
+pub(crate) struct Span {
+    pub(crate) start: usize,
+    pub(crate) end: usize,
 }
 
 impl Span {
@@ -188,43 +263,230 @@ impl Span {
     }
 }
 
-fn in_spans(spans: &[Span], line: usize) -> bool {
+pub(crate) fn in_spans(spans: &[Span], line: usize) -> bool {
     spans.iter().any(|s| s.contains(line))
 }
 
-/// Analyzes one file and returns its findings, pragma-filtered and sorted.
-pub fn analyze(rel_path: &str, source: &str) -> Vec<Finding> {
-    let ctx = FileContext::new(rel_path);
-    let lexed = lex(source);
-    let pragmas = pragma::collect(&lexed.comments);
-    let tests = test_spans(&lexed.tokens);
-    let mergeable = mergeable_impl_spans(&lexed.tokens);
+/// One lexed file inside the analysis pipeline.
+pub(crate) struct FileUnit {
+    pub(crate) rel_path: String,
+    pub(crate) lexed: Lexed,
+    pub(crate) tests: Vec<Span>,
+    pub(crate) pragmas: Pragmas,
+}
 
-    let mut findings = Vec::new();
-    check_hash_iter(&ctx, &lexed.tokens, &tests, &mut findings);
-    check_wall_clock(&ctx, &lexed.tokens, &tests, &mut findings);
-    check_ambient_rng(&ctx, &lexed.tokens, &mut findings);
-    check_lossy_cast(&ctx, &lexed.tokens, &tests, &mergeable, &mut findings);
-    check_panic_policy(&ctx, &lexed.tokens, &tests, &mut findings);
-    check_bench_flags(&ctx, &lexed.tokens, &mut findings);
-    check_flat_options(&ctx, &lexed.tokens, &tests, &mut findings);
+/// Wall-clock read for the analyzer's own per-rule `--stats`; the one
+/// sanctioned self-timing site in this crate.
+fn stat_clock() -> std::time::Instant {
+    std::time::Instant::now() // lint: allow(wall-clock) — analyzer self-timing for --stats; no simulated result depends on it
+}
 
-    let mut out: Vec<Finding> = findings
-        .into_iter()
-        .filter(|f| !pragmas.allows(f.rule, f.line))
+/// Per-rule wall-clock accumulator.
+#[derive(Default)]
+struct Timer {
+    nanos: BTreeMap<&'static str, u128>,
+}
+
+impl Timer {
+    fn add(&mut self, rule: &'static str, since: std::time::Instant) {
+        *self.nanos.entry(rule).or_insert(0) += since.elapsed().as_nanos();
+    }
+
+    fn get(&self, rule: &str) -> u128 {
+        self.nanos.get(rule).copied().unwrap_or(0)
+    }
+}
+
+/// Analyzes a corpus of source units with both passes and returns the
+/// pragma-filtered findings plus per-rule stats.
+pub fn analyze_units(units: &[SourceUnit]) -> AnalysisReport {
+    let mut timer = Timer::default();
+
+    let mut files: Vec<FileUnit> = units
+        .iter()
+        .map(|u| {
+            let lexed = lex(&u.source);
+            let tests = test_spans(&lexed.tokens);
+            let pragmas = pragma::collect(&lexed.comments);
+            FileUnit {
+                rel_path: u.rel_path.clone(),
+                lexed,
+                tests,
+                pragmas,
+            }
+        })
         .collect();
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+
+    // Pass 1a: per-file rules.
+    let mut raw: Vec<Finding> = Vec::new();
+    for file in &files {
+        let ctx = FileContext::new(&file.rel_path);
+        let tokens = &file.lexed.tokens;
+        let tests = &file.tests;
+        let mergeable = mergeable_impl_spans(tokens);
+
+        let t0 = stat_clock();
+        check_hash_iter(&ctx, tokens, tests, &mut raw);
+        timer.add("hash-iter", t0);
+        let t0 = stat_clock();
+        check_wall_clock(&ctx, tokens, tests, &mut raw);
+        timer.add("wall-clock", t0);
+        let t0 = stat_clock();
+        check_ambient_rng(&ctx, tokens, &mut raw);
+        timer.add("ambient-rng", t0);
+        let t0 = stat_clock();
+        check_lossy_cast(&ctx, tokens, tests, &mergeable, &mut raw);
+        timer.add("lossy-cast", t0);
+        let t0 = stat_clock();
+        check_panic_policy(&ctx, tokens, tests, &mut raw);
+        timer.add("panic-policy", t0);
+        let t0 = stat_clock();
+        check_bench_flags(&ctx, tokens, &mut raw);
+        timer.add("bench-flags", t0);
+        let t0 = stat_clock();
+        check_flat_options(&ctx, tokens, tests, &mut raw);
+        timer.add("flat-options", t0);
+    }
+
+    // Pass 1b: the symbol index.
+    let t0 = stat_clock();
+    let refs: Vec<(&str, &Lexed)> = files
+        .iter()
+        .map(|f| (f.rel_path.as_str(), &f.lexed))
+        .collect();
+    let index = SymbolIndex::build(&refs);
+    timer.add("symbol-index", t0);
+
+    // Pass 2: cross-crate semantic rules.
+    let t0 = stat_clock();
+    semantic::check_fast_ref_twin(&index, &mut raw);
+    timer.add("fast-ref-twin", t0);
+    let t0 = stat_clock();
+    semantic::check_mergeable_coverage(&index, &mut raw);
+    timer.add("mergeable-coverage", t0);
+    let t0 = stat_clock();
+    semantic::check_unit_mixing(&files, &mut raw);
+    timer.add("unit-mixing", t0);
+    let t0 = stat_clock();
+    semantic::check_counter_overflow(&files, &index, &mut raw);
+    timer.add("counter-overflow-policy", t0);
+
+    // Pragma filtering with usage tracking, then the dead-pragma audit.
+    let t0 = stat_clock();
+    let by_path: BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.rel_path.as_str(), i))
+        .collect();
+    let mut used: Vec<Vec<bool>> = files
+        .iter()
+        .map(|f| vec![false; f.pragmas.pragmas.len()])
+        .collect();
+    let mut out: Vec<Finding> = Vec::new();
+    for f in raw {
+        if let Some(&fi) = by_path.get(f.path.as_str()) {
+            if let Some(pi) = files[fi].pragmas.covering(f.rule, f.line) {
+                used[fi][pi] = true;
+                continue;
+            }
+        }
+        out.push(f);
+    }
+    // A well-formed pragma that suppressed nothing is dead. Dead-pragma
+    // findings are themselves suppressible (one level — an unused
+    // `allow(dead-pragma)` is reported unconditionally, so the audit
+    // cannot regress into a fixpoint).
+    for (fi, file) in files.iter().enumerate() {
+        for pi in 0..file.pragmas.pragmas.len() {
+            let p = &file.pragmas.pragmas[pi];
+            if used[fi][pi] || p.rule == "dead-pragma" {
+                continue;
+            }
+            if let Some(pj) = file.pragmas.covering("dead-pragma", p.line) {
+                used[fi][pj] = true;
+                continue;
+            }
+            out.push(Finding {
+                rule: "dead-pragma",
+                path: file.rel_path.clone(),
+                line: p.line,
+                col: p.col,
+                message: format!(
+                    "pragma `allow({})` suppresses nothing; the violation it \
+                     justified is gone — delete the pragma or restore its \
+                     purpose",
+                    p.rule
+                ),
+            });
+        }
+    }
+    for (fi, file) in files.iter().enumerate() {
+        for (pi, p) in file.pragmas.pragmas.iter().enumerate() {
+            if !used[fi][pi] && p.rule == "dead-pragma" {
+                out.push(Finding {
+                    rule: "dead-pragma",
+                    path: file.rel_path.clone(),
+                    line: p.line,
+                    col: p.col,
+                    message: "pragma `allow(dead-pragma)` suppresses nothing; \
+                              delete it"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    timer.add("dead-pragma", t0);
+
     // Malformed pragmas are findings themselves and cannot be allowed.
-    for e in &pragmas.errors {
-        out.push(Finding {
-            rule: "pragma",
-            path: rel_path.to_string(),
-            line: e.line,
-            col: 1,
-            message: e.message.clone(),
+    for file in &files {
+        for e in &file.pragmas.errors {
+            out.push(Finding {
+                rule: "pragma",
+                path: file.rel_path.clone(),
+                line: e.line,
+                col: 1,
+                message: e.message.clone(),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+
+    let count = |rule: &str| out.iter().filter(|f| f.rule == rule).count();
+    let mut stats = vec![RuleStat {
+        rule: "symbol-index",
+        findings: 0,
+        nanos: timer.get("symbol-index"),
+    }];
+    for r in RULES {
+        stats.push(RuleStat {
+            rule: r.name,
+            findings: count(r.name),
+            nanos: timer.get(r.name),
         });
     }
-    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    out
+    stats.push(RuleStat {
+        rule: "pragma",
+        findings: count("pragma"),
+        nanos: 0,
+    });
+
+    AnalysisReport {
+        findings: out,
+        stats,
+        files: files.len(),
+    }
+}
+
+/// Analyzes one file in isolation (single-unit corpus) and returns its
+/// findings, pragma-filtered and sorted.
+pub fn analyze(rel_path: &str, source: &str) -> Vec<Finding> {
+    analyze_units(&[SourceUnit {
+        rel_path: rel_path.to_string(),
+        source: source.to_string(),
+    }])
+    .findings
 }
 
 // ---------------------------------------------------------------------------
@@ -232,7 +494,7 @@ pub fn analyze(rel_path: &str, source: &str) -> Vec<Finding> {
 // ---------------------------------------------------------------------------
 
 /// Index just past an attribute starting at `i` (which must be `#`).
-fn skip_attr(tokens: &[Token], i: usize) -> usize {
+pub(crate) fn skip_attr(tokens: &[Token], i: usize) -> usize {
     let mut j = i + 1;
     if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
         return i + 1;
@@ -272,7 +534,7 @@ fn is_test_attr(tokens: &[Token], i: usize) -> bool {
 }
 
 /// Index of the matching `}` for the `{` at `open`, if any.
-fn brace_match(tokens: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn brace_match(tokens: &[Token], open: usize) -> Option<usize> {
     let mut depth = 0usize;
     for (k, t) in tokens.iter().enumerate().skip(open) {
         if t.is_punct('{') {
@@ -289,7 +551,7 @@ fn brace_match(tokens: &[Token], open: usize) -> Option<usize> {
 
 /// Index of the token ending the item starting at `j` (its closing `}` or
 /// terminating `;`).
-fn item_end(tokens: &[Token], j: usize) -> usize {
+pub(crate) fn item_end(tokens: &[Token], j: usize) -> usize {
     let mut k = j;
     while let Some(t) = tokens.get(k) {
         if t.is_punct('{') {
@@ -304,7 +566,7 @@ fn item_end(tokens: &[Token], j: usize) -> usize {
 }
 
 /// Line spans of `#[cfg(test)]` / `#[test]` items.
-fn test_spans(tokens: &[Token]) -> Vec<Span> {
+pub(crate) fn test_spans(tokens: &[Token]) -> Vec<Span> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -716,6 +978,34 @@ mod tests {
     }
 
     #[test]
+    fn dead_pragma_reports_and_can_be_suppressed() {
+        // The pragma suppresses nothing: dead.
+        let stale = "pub fn f() -> u64 {\n    // lint: allow(panic-policy) — was needed before the refactor\n    42\n}\n";
+        let findings = analyze("crates/sim/src/lib.rs", stale);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "dead-pragma");
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[0].col, 5);
+
+        // A live pragma is not dead.
+        let live =
+            "pub fn f() {\n    // lint: allow(panic-policy) — invariant\n    x.unwrap();\n}\n";
+        assert!(rules_fired("crates/sim/src/lib.rs", live).is_empty());
+
+        // Dead-pragma findings are themselves suppressible (one level).
+        let waived = "pub fn f() -> u64 {\n    // lint: allow(dead-pragma) — kept while the refactor lands\n    // lint: allow(panic-policy) — to be re-justified\n    42\n}\n";
+        assert!(rules_fired("crates/sim/src/lib.rs", waived).is_empty());
+
+        // An unused allow(dead-pragma) is itself reported.
+        let useless =
+            "pub fn f() -> u64 {\n    // lint: allow(dead-pragma) — nothing here\n    42\n}\n";
+        assert_eq!(
+            rules_fired("crates/sim/src/lib.rs", useless),
+            vec!["dead-pragma"]
+        );
+    }
+
+    #[test]
     fn bench_flags_requires_the_shared_parser_and_trace() {
         let full = "use ladder_bench::BenchArgs;\nfn main() { let args = BenchArgs::parse(); args.emit_trace_if_requested(&args.cfg); }\n";
         assert!(rules_fired("crates/bench/src/bin/x.rs", full).is_empty());
@@ -777,5 +1067,22 @@ mod tests {
         let f = analyze("crates/sim/src/x.rs", "\n\nuse std::collections::HashMap;");
         assert_eq!((f[0].line, f[0].col), (3, 23));
         assert!(f[0].render().contains("crates/sim/src/x.rs:3:23"));
+    }
+
+    #[test]
+    fn stats_cover_every_rule_and_count_findings() {
+        let report = analyze_units(&[SourceUnit {
+            rel_path: "crates/sim/src/x.rs".to_string(),
+            source: "use std::collections::HashMap;".to_string(),
+        }]);
+        assert_eq!(report.files, 1);
+        assert_eq!(report.stats.len(), RULES.len() + 2); // + index + pragma
+        assert_eq!(report.stats[0].rule, "symbol-index");
+        let hash = report
+            .stats
+            .iter()
+            .find(|s| s.rule == "hash-iter")
+            .expect("hash-iter stat");
+        assert_eq!(hash.findings, 1);
     }
 }

@@ -1,11 +1,12 @@
 //! The fixture corpus is the analyzer's regression suite: every bad
-//! snippet fires exactly its one declared finding, every clean snippet
-//! fires none. A rule change that widens or narrows coverage shows up here
-//! before it ever gates the real workspace.
+//! snippet fires exactly its one declared finding (at its declared
+//! position, when pinned), every clean snippet fires none. A rule change
+//! that widens or narrows coverage shows up here before it ever gates the
+//! real workspace.
 
 use std::path::{Path, PathBuf};
 
-use ladder_lint::run_fixtures;
+use ladder_lint::{run_fixture_source, run_fixtures};
 
 fn fixtures_dir(kind: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -17,12 +18,12 @@ fn fixtures_dir(kind: &str) -> PathBuf {
 fn every_bad_fixture_fires_exactly_its_expected_finding() {
     let reports = run_fixtures(&fixtures_dir("bad")).expect("read bad fixtures");
     assert!(
-        reports.len() >= 13,
+        reports.len() >= 18,
         "bad corpus shrank to {} fixtures",
         reports.len()
     );
     for r in &reports {
-        let expected = r.expected.as_deref().unwrap_or_else(|| {
+        let expected = r.expected.as_ref().unwrap_or_else(|| {
             panic!(
                 "bad fixture {} is missing its `// expect:` header",
                 r.fixture
@@ -30,10 +31,11 @@ fn every_bad_fixture_fires_exactly_its_expected_finding() {
         });
         assert!(
             r.conforms(),
-            "{} (as {}): expected exactly one `{}` finding, got {:?}",
+            "{} (as {}): expected exactly one `{}` finding at {:?}, got {:?}",
             r.fixture,
             r.virtual_path,
-            expected,
+            expected.rule,
+            expected.pos,
             r.findings
         );
     }
@@ -62,7 +64,7 @@ fn bad_corpus_covers_every_rule() {
 fn clean_corpus_fires_nothing() {
     let reports = run_fixtures(&fixtures_dir("clean")).expect("read clean fixtures");
     assert!(
-        reports.len() >= 9,
+        reports.len() >= 14,
         "clean corpus shrank to {} fixtures",
         reports.len()
     );
@@ -80,4 +82,32 @@ fn clean_corpus_fires_nothing() {
             r.findings
         );
     }
+}
+
+/// The fast-ref-twin rule must actually depend on the equivalence-test
+/// reference: take the clean twin fixture, delete the line in its
+/// equivalence-test section that mentions the reference kernel, and the
+/// corpus self-check has to start failing with a fast-ref-twin finding.
+#[test]
+fn deleting_the_equivalence_reference_breaks_the_clean_twin_fixture() {
+    let path = fixtures_dir("clean").join("fast_ref_twin.rs");
+    let source = std::fs::read_to_string(&path).expect("read clean fast_ref_twin fixture");
+    assert!(run_fixture_source("clean/fast_ref_twin.rs", &source).conforms());
+
+    let mutated: String = source
+        .lines()
+        .filter(|l| !l.contains("reference::"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_ne!(mutated, source, "mutation removed nothing");
+    let report = run_fixture_source("clean/fast_ref_twin.rs", &mutated);
+    assert!(
+        !report.conforms(),
+        "fixture still conforms with the equivalence reference deleted"
+    );
+    assert!(
+        report.findings.iter().any(|f| f.rule == "fast-ref-twin"),
+        "expected a fast-ref-twin finding, got {:?}",
+        report.findings
+    );
 }

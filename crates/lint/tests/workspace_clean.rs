@@ -1,14 +1,16 @@
 //! The live workspace must be lint-clean: zero findings across every
-//! source file. This is the same gate `scripts/verify.sh` enforces via the
-//! CLI; running it as a test keeps `cargo test` sufficient to catch a
-//! violation without the full verify pipeline.
+//! source file and every rule — including the cross-crate semantic pass
+//! (fast/reference twins, Mergeable coverage, unit mixing, counter
+//! overflow policy, dead pragmas). This is the same gate
+//! `scripts/verify.sh` enforces via the CLI; running it as a test keeps
+//! `cargo test` sufficient to catch a violation without the full verify
+//! pipeline.
 
 use std::path::Path;
 
-use ladder_lint::{run_workspace, to_json};
+use ladder_lint::{run_workspace, to_json, RULES};
 
-#[test]
-fn live_workspace_has_zero_findings() {
+fn workspace_root() -> &'static Path {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
@@ -18,10 +20,35 @@ fn live_workspace_has_zero_findings() {
         "workspace root not found at {}",
         root.display()
     );
-    let findings = run_workspace(root).expect("walk workspace");
+    root
+}
+
+#[test]
+fn live_workspace_has_zero_findings() {
+    let report = run_workspace(workspace_root()).expect("walk workspace");
     assert!(
-        findings.is_empty(),
+        report.findings.is_empty(),
         "workspace is not lint-clean:\n{}",
-        to_json(&findings)
+        to_json(&report.findings)
     );
+}
+
+#[test]
+fn workspace_run_reports_stats_for_every_rule() {
+    let report = run_workspace(workspace_root()).expect("walk workspace");
+    assert!(report.files > 50, "only {} files discovered", report.files);
+    // Index row + one per cataloged rule + the pragma-error row.
+    assert_eq!(report.stats.len(), RULES.len() + 2);
+    assert_eq!(report.stats[0].rule, "symbol-index");
+    assert!(
+        report.stats[0].nanos > 0,
+        "symbol index build took zero time?"
+    );
+    for rule in RULES {
+        assert!(
+            report.stats.iter().any(|s| s.rule == rule.name),
+            "no stat row for rule `{}`",
+            rule.name
+        );
+    }
 }

@@ -296,7 +296,6 @@ pub fn run_sim(cfg: &SimConfig, ecfg: &ExperimentConfig, tables: &Tables) -> Run
     assert!(
         cfg.topology.is_none(),
         "run_sim is the monolithic path; run topology {} through shard::run_sharded",
-        // lint: allow(panic-policy) — entry-point contract: mixing the monolithic and sharded paths is a caller bug, documented under # Panics
         cfg.topology.map(|t| t.to_string()).unwrap_or_default()
     );
     builder_for(cfg, ecfg, tables, Geometry::default(), None).run()

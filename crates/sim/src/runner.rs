@@ -109,7 +109,7 @@ impl RunnerStats {
     /// Folds another batch's stats into this one (used by experiments
     /// that issue several batches).
     pub fn merge(&mut self, other: &RunnerStats) {
-        self.jobs += other.jobs;
+        self.jobs = self.jobs.saturating_add(other.jobs);
         self.workers = self.workers.max(other.workers);
         self.wall += other.wall;
         self.total_job_time += other.total_job_time;

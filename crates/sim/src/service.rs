@@ -172,10 +172,10 @@ pub struct ServiceStats {
 impl Mergeable for ServiceStats {
     fn merge_from(&mut self, other: &Self) {
         self.tenants.merge_from(&other.tenants);
-        self.arrivals += other.arrivals;
-        self.reads_completed += other.reads_completed;
-        self.writes_accepted += other.writes_accepted;
-        self.deferred += other.deferred;
+        self.arrivals = self.arrivals.saturating_add(other.arrivals);
+        self.reads_completed = self.reads_completed.saturating_add(other.reads_completed);
+        self.writes_accepted = self.writes_accepted.saturating_add(other.writes_accepted);
+        self.deferred = self.deferred.saturating_add(other.deferred);
     }
 }
 

@@ -630,15 +630,19 @@ impl EventCounts {
 
     /// Accumulates another run's counters into this one.
     pub fn merge(&mut self, other: &EventCounts) {
-        self.core_wake += other.core_wake;
-        self.read_complete += other.read_complete;
-        self.ctrl_work_arrived += other.ctrl_work_arrived;
-        self.ctrl_bank_free += other.ctrl_bank_free;
-        self.ctrl_queue_slot_free += other.ctrl_queue_slot_free;
-        self.ctrl_dep_ready += other.ctrl_dep_ready;
-        self.ctrl_mode_switch += other.ctrl_mode_switch;
-        self.ctrl_retry_pulse += other.ctrl_retry_pulse;
-        self.request_arrival += other.request_arrival;
+        self.core_wake = self.core_wake.saturating_add(other.core_wake);
+        self.read_complete = self.read_complete.saturating_add(other.read_complete);
+        self.ctrl_work_arrived = self
+            .ctrl_work_arrived
+            .saturating_add(other.ctrl_work_arrived);
+        self.ctrl_bank_free = self.ctrl_bank_free.saturating_add(other.ctrl_bank_free);
+        self.ctrl_queue_slot_free = self
+            .ctrl_queue_slot_free
+            .saturating_add(other.ctrl_queue_slot_free);
+        self.ctrl_dep_ready = self.ctrl_dep_ready.saturating_add(other.ctrl_dep_ready);
+        self.ctrl_mode_switch = self.ctrl_mode_switch.saturating_add(other.ctrl_mode_switch);
+        self.ctrl_retry_pulse = self.ctrl_retry_pulse.saturating_add(other.ctrl_retry_pulse);
+        self.request_arrival = self.request_arrival.saturating_add(other.request_arrival);
     }
 
     fn count(&mut self, ev: EventKind) {

@@ -205,7 +205,6 @@ impl UniformKeys {
     ///
     /// Panics if `keys` is zero.
     pub fn new(keys: u64) -> Self {
-        // lint: allow(panic-policy) — constructor contract: an empty key space has no distribution, documented under # Panics
         assert!(keys > 0, "key space must be nonempty");
         Self { keys }
     }
@@ -248,9 +247,7 @@ impl ZipfianKeys {
     ///
     /// Panics if `keys` is zero or `theta` is outside `(0, 1)`.
     pub fn new(keys: u64, theta: f64) -> Self {
-        // lint: allow(panic-policy) — constructor contract: the Gray et al. closed form requires 0 < theta < 1, documented under # Panics
         assert!(keys > 0, "key space must be nonempty");
-        // lint: allow(panic-policy) — constructor contract: the Gray et al. closed form requires 0 < theta < 1, documented under # Panics
         assert!(
             theta > 0.0 && theta < 1.0,
             "zipfian skew must be in (0, 1), got {theta}"
@@ -378,7 +375,6 @@ impl TenantMix {
     ///
     /// Panics if `tenants` is empty or any weight is non-positive.
     pub fn new(tenants: Vec<Tenant>) -> Self {
-        // lint: allow(panic-policy) — constructor contract: an empty or zero-weight mix cannot be sampled, documented under # Panics
         assert!(
             !tenants.is_empty(),
             "a tenant mix needs at least one tenant"
@@ -386,7 +382,6 @@ impl TenantMix {
         let mut cumulative = Vec::with_capacity(tenants.len());
         let mut total_weight = 0.0;
         for t in &tenants {
-            // lint: allow(panic-policy) — constructor contract: an empty or zero-weight mix cannot be sampled, documented under # Panics
             assert!(t.weight > 0.0, "tenant {} weight must be positive", t.name);
             total_weight += t.weight;
             cumulative.push(total_weight);
@@ -429,7 +424,6 @@ impl TenantMix {
         zipf_theta: f64,
         read_fraction: f64,
     ) -> Self {
-        // lint: allow(panic-policy) — constructor contract: each tenant needs a nonempty page window, documented under # Panics
         assert!(
             n > 0 && page_span >= n as u64,
             "window of {page_span} pages cannot host {n} tenants"
@@ -504,7 +498,6 @@ impl ServiceGen {
         seed: u64,
         requests: u64,
     ) -> Self {
-        // lint: allow(panic-policy) — constructor contract: open-loop streams need wall-clock pacing, documented under # Panics
         assert!(
             arrivals.is_open_loop(),
             "{} is closed-loop; ServiceGen needs an open-loop arrival process",

@@ -17,15 +17,29 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-# Project-invariant gate: determinism / accounting / panic-policy /
-# bench-conformance rules over every workspace source file (fails on any
-# finding), plus a self-check that the analyzer still flags its bad-fixture
-# corpus. Runs before the slow bench smoke so violations fail fast.
-echo "==> ladder-lint (workspace invariants)"
+# Project-invariant gate: per-file rules (determinism / accounting /
+# panic-policy / bench-conformance) plus the cross-crate semantic pass
+# (fast-ref-twin, mergeable-coverage, unit-mixing, counter-overflow-policy,
+# dead-pragma) over every workspace source file — fails on any finding.
+# Exit codes are part of the CLI contract (0 clean / 1 findings / 2 usage
+# or I/O error) and both corpus self-checks assert them explicitly.
+# Runs before the slow bench smoke so violations fail fast.
+echo "==> ladder-lint (workspace invariants, both passes)"
 cargo run --release -q -p ladder-lint --offline -- --root .
-if cargo run --release -q -p ladder-lint --offline -- \
-        --fixtures crates/lint/fixtures/bad >/dev/null 2>&1; then
-    echo "error: ladder-lint reported the bad-fixture corpus as clean" >&2
+set +e
+cargo run --release -q -p ladder-lint --offline -- \
+    --fixtures crates/lint/fixtures/bad >/dev/null 2>&1
+bad_rc=$?
+cargo run --release -q -p ladder-lint --offline -- \
+    --fixtures crates/lint/fixtures/clean >/dev/null 2>&1
+clean_rc=$?
+set -e
+if [ "$bad_rc" -ne 1 ]; then
+    echo "error: bad-fixture corpus self-check exited $bad_rc (want 1: findings)" >&2
+    exit 1
+fi
+if [ "$clean_rc" -ne 0 ]; then
+    echo "error: clean-fixture corpus self-check exited $clean_rc (want 0: clean)" >&2
     exit 1
 fi
 
